@@ -1,0 +1,114 @@
+// Command fiferbench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	fiferbench                      # everything, small scale
+//	fiferbench -exp fig13           # one experiment
+//	fiferbench -exp fig16 -apps BFS,SpMM -scale 0
+//
+// Experiments: table1 table2 table3 table4 fig13 fig14 fig15 fig16 fig17
+// table5 zerocost all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fifer"
+	"fifer/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run")
+	scale := flag.Int("scale", 1, "workload scale: 0=tiny, 1=small, 2=medium")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	appsFlag := flag.String("apps", "", "comma-separated app subset (default: all)")
+	flag.Parse()
+
+	opt := bench.Options{Scale: *scale, Seed: *seed}
+	if *appsFlag != "" {
+		opt.Apps = strings.Split(*appsFlag, ",")
+	}
+	w := os.Stdout
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Fprintf(w, "==== %s ====\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
+	}
+
+	run("table1", func() error { bench.PrintTable1(w); return nil })
+	run("table2", func() error { bench.PrintTable2(w); return nil })
+	run("table3", func() error { bench.PrintTable3(w, opt); return nil })
+	run("table4", func() error { bench.PrintTable4(w, opt); return nil })
+
+	var fig13 *bench.Fig13Data
+	needFig13 := func() error {
+		if fig13 != nil {
+			return nil
+		}
+		var err error
+		fig13, err = fifer.Fig13(opt)
+		return err
+	}
+	run("fig13", func() error {
+		if err := needFig13(); err != nil {
+			return err
+		}
+		fig13.Print(w)
+		return nil
+	})
+	run("fig14", func() error {
+		if err := needFig13(); err != nil {
+			return err
+		}
+		fig13.PrintFig14(w, opt)
+		return nil
+	})
+	run("fig15", func() error {
+		if err := needFig13(); err != nil {
+			return err
+		}
+		fig13.PrintFig15(w, opt)
+		return nil
+	})
+	run("table5", func() error {
+		if err := needFig13(); err != nil {
+			return err
+		}
+		fig13.PrintTable5(w, opt)
+		return nil
+	})
+	run("fig16", func() error {
+		points, err := fifer.Fig16(opt)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig16(w, points, opt)
+		return nil
+	})
+	run("fig17", func() error {
+		rows, err := fifer.Fig17(opt)
+		if err != nil {
+			return err
+		}
+		bench.PrintFig17(w, rows)
+		return nil
+	})
+	run("zerocost", func() error {
+		r, err := fifer.ZeroCost(opt)
+		if err != nil {
+			return err
+		}
+		bench.PrintZeroCost(w, r)
+		return nil
+	})
+}

@@ -1,0 +1,74 @@
+// Command fifersim runs one benchmark on one system and prints its timing,
+// CPI stack, and energy breakdown.
+//
+// Usage:
+//
+//	fifersim -app BFS -input Hu -system fifer -scale 1
+//	fifersim -app SpMM -input St -system static -merged
+//	fifersim -app Silo -system serial
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fifer"
+	"fifer/internal/apps"
+	"fifer/internal/bench"
+)
+
+func main() {
+	app := flag.String("app", "BFS", "application: "+strings.Join(fifer.AppNames, ", "))
+	input := flag.String("input", "", "input name (default: the app's first input)")
+	system := flag.String("system", "fifer", "system: serial, multicore, static, fifer")
+	scale := flag.Int("scale", 1, "workload scale: 0=tiny, 1=small, 2=medium")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	merged := flag.Bool("merged", false, "use the merged-stage pipeline variant (Sec. 8.4)")
+	flag.Parse()
+
+	kind, ok := map[string]apps.SystemKind{
+		"serial": fifer.SerialOOO, "multicore": fifer.MulticoreOOO,
+		"static": fifer.StaticPipe, "fifer": fifer.FiferPipe,
+	}[*system]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(2)
+	}
+	if *input == "" {
+		*input = fifer.InputsOf(*app)[0]
+	}
+	opt := bench.Options{Scale: *scale, Seed: *seed}
+	var out fifer.Outcome
+	var err error
+	if *merged {
+		out, err = fifer.RunAppMerged(*app, *input, kind, opt)
+	} else {
+		out, err = fifer.RunApp(*app, *input, kind, opt)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s / %s on %v (scale %d, seed %d)\n", *app, *input, kind, *scale, *seed)
+	fmt.Printf("  cycles:   %d\n", out.Cycles)
+	fmt.Printf("  verified: %v (output matches the reference implementation)\n", out.Verified)
+	switch kind {
+	case fifer.StaticPipe, fifer.FiferPipe:
+		i, s, q, r, idle := out.Pipe.Total.Fractions()
+		fmt.Printf("  CPI stack: issued %.1f%%, stalls %.1f%%, queue full/empty %.1f%%, reconfig %.1f%%, idle %.1f%%\n",
+			100*i, 100*s, 100*q, 100*r, 100*idle)
+		fmt.Printf("  firings:  %d  reconfigurations: %d\n", out.Pipe.Firings, out.Pipe.Reconfigs)
+		if out.Pipe.Reconfigs > 0 {
+			fmt.Printf("  mean residence: %.0f cycles  mean reconfig period: %.1f cycles\n",
+				out.Pipe.MeanResidence, out.Pipe.MeanReconfig)
+		}
+	default:
+		fmt.Printf("  instructions: %d\n", out.Counts.Instrs)
+	}
+	e := fifer.EnergyBreakdown(out)
+	fmt.Printf("  energy (uJ): total %.1f = memory %.1f + caches %.1f + compute %.1f + leakage %.1f\n",
+		e.Total()/1e6, e.Memory/1e6, e.Caches/1e6, e.Compute/1e6, e.Leakage/1e6)
+}

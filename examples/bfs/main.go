@@ -1,0 +1,47 @@
+// Example: a deeper look at BFS on Fifer — per-system CPI stacks,
+// reconfiguration behavior (Table 5's statistics), and how queue-memory
+// size changes performance (one slice of Fig. 16).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fifer"
+)
+
+func main() {
+	opt := fifer.Options{Scale: 0, Seed: 1}
+
+	fmt.Println("== CPI stacks across the five Table 3 graphs (Fifer 16-PE) ==")
+	for _, input := range fifer.InputsOf("BFS") {
+		out, err := fifer.RunApp("BFS", input, fifer.FiferPipe, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		i, s, q, r, idle := out.Pipe.Total.Fractions()
+		fmt.Printf("  %-3s %9d cycles | issued %4.1f%% stalls %4.1f%% queues %4.1f%% reconfig %4.1f%% idle %4.1f%% | residence %.0f cyc, reconfig %.1f cyc\n",
+			input, out.Cycles, 100*i, 100*s, 100*q, 100*r, 100*idle,
+			out.Pipe.MeanResidence, out.Pipe.MeanReconfig)
+	}
+
+	fmt.Println("\n== Queue-memory sensitivity on graph Hu (Fig. 16's BFS panel) ==")
+	base, err := fifer.RunApp("BFS", "Hu", fifer.FiferPipe, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, factor := range []float64{0.25, 0.5, 1, 2, 4} {
+		f := factor
+		out, err := fifer.RunApp("BFS", "Hu", fifer.FiferPipe, opt, func(cfg *fifer.Config) {
+			*cfg = cfg.WithQueueScale(f)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %4.2fx queue memory: speedup %.2f vs default\n",
+			factor, float64(base.Cycles)/float64(out.Cycles))
+	}
+
+	fmt.Println("\nPaper's observation: BFS is mainly sensitive to queue size — its")
+	fmt.Println("performance nearly halves with a 4 KB queue memory (insufficient decoupling).")
+}

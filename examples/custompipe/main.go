@@ -1,0 +1,171 @@
+// Example: building a custom decoupled application directly on the Fifer
+// architecture model — the workflow of Sec. 4 by hand. We implement a
+// scatter-histogram (an irregular kernel with data-dependent updates):
+//
+//	for each x in data: bins[hash(x)]++
+//
+// split across the source of irregularity (the bins access) into two
+// stages, with the data stream fed by a scanning DRM:
+//
+//	scan DRM ──> hash stage ──> update stage (coupled read-modify-write)
+//
+// Both a single-PE Fifer temporal pipeline and a two-PE static spatial
+// pipeline are built from the same stages, echoing Fig. 2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fifer/internal/cgra"
+	"fifer/internal/core"
+	"fifer/internal/mem"
+	"fifer/internal/queue"
+	"fifer/internal/sim"
+	"fifer/internal/stage"
+)
+
+const (
+	numItems = 20000
+	numBins  = 1 << 10
+)
+
+func hashDFG() *cgra.DFG {
+	g := cgra.NewDFG("hash")
+	x := g.Deq(0)
+	c := g.Const(0x9e3779b97f4a7c15)
+	h := g.Add(cgra.OpMul, 0, x, c)
+	s := g.Const(54)
+	idx := g.Add(cgra.OpShr, 0, h, s)
+	g.Enq(0, idx)
+	return g
+}
+
+func updateDFG() *cgra.DFG {
+	g := cgra.NewDFG("update")
+	idx := g.Deq(0)
+	base := g.Const(0)
+	a := g.Add(cgra.OpLEA, 3, base, idx)
+	old := g.Add(cgra.OpLoad, 0, a)
+	one := g.Const(1)
+	inc := g.Add(cgra.OpAdd, 0, old, one)
+	g.Add(cgra.OpStore, 0, a, inc)
+	return g
+}
+
+func hashOf(x uint64) uint64 { return x * 0x9e3779b97f4a7c15 >> 54 }
+
+// buildHistogram wires the two stages onto a system; hashPE and updPE may
+// be the same PE (Fifer temporal pipeline) or different PEs (static).
+func buildHistogram(sys *core.System, hashPE, updPE int, data []uint64) (bins mem.Addr) {
+	b := sys.Backing
+	dataA := b.AllocSlice(data)
+	bins = b.AllocWords(numBins)
+
+	// Queues: the scan DRM feeds idxQ's producer stage; hash feeds updQ.
+	pe0, pe1 := sys.PE(hashPE), sys.PE(updPE)
+	dataQ := pe0.AllocQueue("data", 256)
+	var updIn stage.InPort
+	var updOut stage.OutPort
+	if hashPE == updPE {
+		q := pe0.AllocQueue("upd", 256)
+		updIn, updOut = stage.LocalPort{Q: q}, stage.LocalPort{Q: q}
+	} else {
+		arb := sys.InterPEQueue(updPE, "upd", 256, 1)
+		updIn, updOut = stage.ArbiterPort{A: arb}, stage.CreditOut{P: arb.Port(0)}
+	}
+
+	drm := pe0.DRM(0)
+	drm.Configure(core.DRMScan, stage.LocalPort{Q: dataQ})
+	drm.In().Enq(queue.Data(uint64(dataA)))
+	drm.In().Enq(queue.Data(uint64(dataA) + uint64(len(data)*mem.WordBytes)))
+
+	place := func(g *cgra.DFG) *cgra.Mapping {
+		m, err := cgra.Place(g, sys.Cfg.Fabric, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m
+	}
+
+	pe0.AddStage(&stage.Stage{
+		Kernel: stage.KernelFunc{KernelName: "hash", Fn: func(c *stage.Ctx) stage.Status {
+			t, ok := c.In[0].Peek()
+			if !ok {
+				return stage.NoInput
+			}
+			if c.Out[0].Space() < 1 {
+				return stage.NoOutput
+			}
+			c.In[0].Pop()
+			c.Out[0].Push(queue.Data(hashOf(t.Value)))
+			return stage.Fired
+		}},
+		Mapping: place(hashDFG()),
+		In:      []stage.InPort{stage.LocalPort{Q: dataQ}},
+		Out:     []stage.OutPort{updOut},
+	})
+	pe1.AddStage(&stage.Stage{
+		Kernel: stage.KernelFunc{KernelName: "update", Fn: func(c *stage.Ctx) stage.Status {
+			t, ok := c.In[0].Peek()
+			if !ok {
+				return stage.NoInput
+			}
+			c.In[0].Pop()
+			a := bins + mem.Addr(t.Value*mem.WordBytes)
+			c.Store(a, c.Load(a)+1)
+			return stage.Fired
+		}},
+		Mapping: place(updateDFG()),
+		In:      []stage.InPort{updIn},
+	})
+	return bins
+}
+
+func run(mode core.Mode, pes int, data []uint64) (uint64, []uint64) {
+	cfg := core.DefaultConfig()
+	cfg.Mode = mode
+	cfg.PEs = pes
+	cfg.Hier.Clients = pes
+	cfg.BackingBytes = 16 << 20
+	sys := core.NewSystem(cfg)
+	var bins mem.Addr
+	if mode == core.ModeFifer {
+		bins = buildHistogram(sys, 0, 0, data) // both stages time-multiplexed on PE 0
+	} else {
+		bins = buildHistogram(sys, 0, 1, data) // spatial: one stage per PE
+	}
+	res, err := sys.Run(core.ProgramFunc(func(*core.System) bool { return false }))
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := make([]uint64, numBins)
+	for i := range out {
+		out[i] = sys.Backing.Load(bins + mem.Addr(i*mem.WordBytes))
+	}
+	return res.Cycles, out
+}
+
+func main() {
+	r := sim.NewRand(7)
+	data := make([]uint64, numItems)
+	want := make([]uint64, numBins)
+	for i := range data {
+		data[i] = r.Uint64()
+		want[hashOf(data[i])]++
+	}
+
+	fiferCycles, fiferBins := run(core.ModeFifer, 1, data)
+	staticCycles, staticBins := run(core.ModeStatic, 2, data)
+	for i := range want {
+		if fiferBins[i] != want[i] || staticBins[i] != want[i] {
+			log.Fatalf("bin %d mismatch: fifer=%d static=%d want=%d", i, fiferBins[i], staticBins[i], want[i])
+		}
+	}
+	fmt.Printf("scatter-histogram over %d items into %d bins — results verified\n", numItems, numBins)
+	fmt.Printf("  1-PE Fifer (temporal pipeline):  %d cycles\n", fiferCycles)
+	fmt.Printf("  2-PE static (spatial pipeline):  %d cycles\n", staticCycles)
+	fmt.Println("\nThe temporal pipeline time-multiplexes both stages on one PE and stays")
+	fmt.Println("within 2x of a spatial pipeline using twice the hardware — the core tradeoff")
+	fmt.Println("Fifer exploits (Sec. 2.2).")
+}

@@ -1,0 +1,31 @@
+// Quickstart: run breadth-first search on the Fifer system and on the
+// static-pipeline baseline, and print the speedup — the repository's
+// one-minute tour.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fifer"
+)
+
+func main() {
+	opt := fifer.Options{Scale: 0, Seed: 1} // tiny inputs: runs in seconds
+
+	fmt.Println("BFS on the synthetic coAuthorsDBLP stand-in (graph `Hu`):")
+	cycles := map[fifer.SystemKind]uint64{}
+	for _, kind := range fifer.Kinds {
+		out, err := fifer.RunApp("BFS", "Hu", kind, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cycles[kind] = out.Cycles
+		fmt.Printf("  %-12v %10d cycles (verified=%v)\n", kind, out.Cycles, out.Verified)
+	}
+
+	fmt.Printf("\nFifer vs static pipeline: %.2fx (paper: gmean 2.8x across apps)\n",
+		float64(cycles[fifer.StaticPipe])/float64(cycles[fifer.FiferPipe]))
+	fmt.Printf("Fifer vs 4-core OOO:      %.2fx (paper: gmean >17x across apps)\n",
+		float64(cycles[fifer.MulticoreOOO])/float64(cycles[fifer.FiferPipe]))
+}

@@ -1,0 +1,119 @@
+// Package fifer is the public API of this repository: a cycle-level
+// reproduction of "Fifer: Practical Acceleration of Irregular Applications
+// on Reconfigurable Architectures" (Nguyen & Sanchez, MICRO 2021).
+//
+// The package re-exports the high-level entry points a downstream user
+// needs: system configuration, the four evaluated systems, the six
+// benchmark applications, and the experiment harness that regenerates the
+// paper's tables and figures. Lower-level building blocks (the CGRA fabric
+// model, queues, caches, the stage abstraction) live in the internal
+// packages and are exercised through these exports and the examples/.
+//
+// Quick start:
+//
+//	out, err := fifer.RunApp("BFS", "Hu", fifer.FiferPipe, fifer.Options{Scale: 1, Seed: 1})
+//	fmt.Println(out.Cycles)
+//
+// See examples/quickstart for a complete program and DESIGN.md for the
+// architecture overview and the per-experiment index.
+package fifer
+
+import (
+	"io"
+
+	"fifer/internal/apps"
+	"fifer/internal/bench"
+	"fifer/internal/core"
+	"fifer/internal/energy"
+)
+
+// SystemKind selects one of the paper's four evaluated systems.
+type SystemKind = apps.SystemKind
+
+// The four evaluated systems (Sec. 7.1).
+const (
+	SerialOOO    = apps.SerialOOO
+	MulticoreOOO = apps.MulticoreOOO
+	StaticPipe   = apps.StaticPipe
+	FiferPipe    = apps.FiferPipe
+)
+
+// Kinds lists the four systems in Fig. 13's order.
+var Kinds = apps.Kinds
+
+// Options selects workload scale and seed for runs and experiments.
+type Options = bench.Options
+
+// DefaultOptions returns the standard configuration (small scale, seed 1).
+func DefaultOptions() Options { return bench.DefaultOptions() }
+
+// Outcome is one run's measurements: cycles, CPI stack, energy inputs, and
+// whether the functional result matched the reference implementation.
+type Outcome = apps.Outcome
+
+// Config is the CGRA-system configuration (Table 2 plus Fifer mechanisms).
+type Config = core.Config
+
+// DefaultConfig returns the paper's 16-PE Fifer system; StaticConfig the
+// static-spatial-pipeline baseline.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// StaticConfig returns the baseline system without the scheduler.
+func StaticConfig() Config { return core.StaticConfig() }
+
+// AppNames lists the six benchmarks in the paper's order:
+// BFS, CC, PRD, Radii, SpMM, Silo.
+var AppNames = bench.AppNames
+
+// InputsOf returns the Table 3/4 input labels of an application.
+func InputsOf(app string) []string { return bench.InputsOf(app) }
+
+// RunApp executes one benchmark on one input and system, verifying the
+// functional output against the pure-Go reference implementation. Passing a
+// non-nil override customizes the CGRA system (queue sizes, scheduler
+// policy, reconfiguration model) before the run.
+func RunApp(app, input string, kind SystemKind, opt Options, override ...func(*Config)) (Outcome, error) {
+	var ov func(*Config)
+	if len(override) > 0 {
+		ov = override[0]
+	}
+	return bench.RunOne(app, input, kind, false, opt, ov)
+}
+
+// RunAppMerged is RunApp with the merged-stage pipeline variant (Sec. 8.4).
+func RunAppMerged(app, input string, kind SystemKind, opt Options, override ...func(*Config)) (Outcome, error) {
+	var ov func(*Config)
+	if len(override) > 0 {
+		ov = override[0]
+	}
+	return bench.RunOne(app, input, kind, true, opt, ov)
+}
+
+// EnergyBreakdown converts a run's event counts into the Fig. 15 energy
+// components (picojoules).
+func EnergyBreakdown(out Outcome) energy.Breakdown { return energy.Model(out.Counts) }
+
+// Experiment drivers: each regenerates one of the paper's tables/figures.
+
+// Fig13 runs the per-input performance sweep over all systems.
+func Fig13(opt Options) (*bench.Fig13Data, error) { return bench.Fig13(opt) }
+
+// Fig16 sweeps queue-memory size and double-buffering (Fig. 16).
+func Fig16(opt Options) ([]bench.Fig16Point, error) { return bench.Fig16(opt) }
+
+// Fig17 compares merged-stage pipelines (Fig. 17 / Sec. 8.4).
+func Fig17(opt Options) ([]bench.Fig17Row, error) { return bench.Fig17(opt) }
+
+// ZeroCost measures idealized zero-cost reconfiguration (Sec. 8.3).
+func ZeroCost(opt Options) (bench.ZeroCostResult, error) { return bench.ZeroCost(opt) }
+
+// PrintTables renders the static configuration tables (Tables 1-4).
+func PrintTables(w io.Writer, opt Options) {
+	bench.PrintTable1(w)
+	io.WriteString(w, "\n")
+	bench.PrintTable2(w)
+	io.WriteString(w, "\n")
+	bench.PrintTable3(w, opt)
+	io.WriteString(w, "\n")
+	bench.PrintTable4(w, opt)
+}

@@ -1,0 +1,77 @@
+package fifer_test
+
+import (
+	"strings"
+	"testing"
+
+	"fifer"
+)
+
+func TestPublicAPIRunApp(t *testing.T) {
+	opt := fifer.Options{Scale: 0, Seed: 1}
+	out, err := fifer.RunApp("BFS", "Hu", fifer.FiferPipe, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Verified || out.Cycles == 0 {
+		t.Fatal("bad outcome")
+	}
+	e := fifer.EnergyBreakdown(out)
+	if e.Total() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+func TestPublicAPIOverride(t *testing.T) {
+	opt := fifer.Options{Scale: 0, Seed: 1}
+	base, err := fifer.RunApp("BFS", "Hu", fifer.FiferPipe, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny, err := fifer.RunApp("BFS", "Hu", fifer.FiferPipe, opt, func(cfg *fifer.Config) {
+		*cfg = cfg.WithQueueScale(0.25)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.Cycles == base.Cycles {
+		t.Fatal("override had no effect")
+	}
+}
+
+func TestPublicAPIUnknownApp(t *testing.T) {
+	if _, err := fifer.RunApp("NoSuchApp", "x", fifer.FiferPipe, fifer.Options{}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestAppAndInputRegistry(t *testing.T) {
+	if len(fifer.AppNames) != 6 {
+		t.Fatalf("expected 6 apps, got %v", fifer.AppNames)
+	}
+	for _, app := range fifer.AppNames {
+		if len(fifer.InputsOf(app)) == 0 {
+			t.Fatalf("%s has no inputs", app)
+		}
+	}
+	if got := fifer.InputsOf("SpMM"); len(got) != 6 {
+		t.Fatalf("SpMM inputs = %v", got)
+	}
+}
+
+func TestPrintTables(t *testing.T) {
+	var b strings.Builder
+	fifer.PrintTables(&b, fifer.Options{Scale: 0, Seed: 1})
+	out := b.String()
+	for _, want := range []string{"Table 1", "Table 2", "Table 3", "Table 4", "1.34", "coAuthorsDBLP"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tables output missing %q", want)
+		}
+	}
+}
+
+func TestConfigsDiffer(t *testing.T) {
+	if fifer.DefaultConfig().Mode == fifer.StaticConfig().Mode {
+		t.Fatal("default and static configs share a mode")
+	}
+}

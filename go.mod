@@ -1,0 +1,3 @@
+module fifer
+
+go 1.22

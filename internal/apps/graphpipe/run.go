@@ -1,0 +1,115 @@
+package graphpipe
+
+import (
+	"fmt"
+
+	"fifer/internal/apps"
+	"fifer/internal/core"
+	"fifer/internal/graph"
+	"fifer/internal/mem"
+)
+
+// backingFor sizes the simulated DRAM for a graph workload: CSR arrays,
+// labels, radii, per-replica fringes, and configuration storage.
+func backingFor(g *graph.Graph) int {
+	n, m := g.NumVertices(), g.NumEdges()
+	words := 6*n + m + 4096
+	return words*mem.WordBytes*2 + (1 << 20)
+}
+
+// RunApp executes one graph benchmark on one system and verifies the result
+// against the pure-Go reference.
+func RunApp(kind apps.SystemKind, mode Mode, g *graph.Graph, sources []int, scale int, merged bool, override func(*core.Config)) (apps.Outcome, error) {
+	out := apps.Outcome{Kind: kind}
+	switch kind {
+	case apps.SerialOOO, apps.MulticoreOOO:
+		cores := 1
+		if kind == apps.MulticoreOOO {
+			cores = 4
+		}
+		m := apps.NewOOOMachine(cores, backingFor(g), scale)
+		labels, radii := RunOOO(m, mode, g, sources)
+		out.Cycles = m.Cycles()
+		out.Counts = apps.CollectOOOCounts(m)
+		apps.FillOOO(&out, m)
+		ok, err := verify(mode, g, sources, labels, radii)
+		if err != nil {
+			return out, fmt.Errorf("%v %v: %w", kind, mode, err)
+		}
+		out.Verified = ok
+		return out, nil
+	case apps.StaticPipe, apps.FiferPipe:
+		cfg := core.DefaultConfig()
+		if kind == apps.StaticPipe {
+			cfg = core.StaticConfig()
+		}
+		cfg.BackingBytes = backingFor(g)
+		apps.ScaleLLC(&cfg, scale)
+		if override != nil {
+			override(&cfg)
+		}
+		sys := core.NewSystem(cfg)
+		p := Build(sys, g, Options{Mode: mode, Merged: merged, Sources: sources})
+		res, err := p.Run()
+		if err != nil {
+			return out, fmt.Errorf("%v %v: %w", kind, mode, err)
+		}
+		if err := sys.CheckInvariants(); err != nil {
+			return out, fmt.Errorf("%v %v invariants: %w", kind, mode, err)
+		}
+		out.Cycles = res.Cycles
+		out.Pipe = res
+		out.Counts = apps.CollectPipeCounts(sys, res)
+		var radii []uint64
+		if mode == ModeRadii {
+			radii = p.Radii()
+		}
+		ok, err := verify(mode, g, sources, p.Labels(), radii)
+		if err != nil {
+			return out, fmt.Errorf("%v %v: %w", kind, mode, err)
+		}
+		out.Verified = ok
+		return out, nil
+	}
+	return out, fmt.Errorf("unknown system kind %v", kind)
+}
+
+// verify checks computed labels/radii against the reference algorithms.
+func verify(mode Mode, g *graph.Graph, sources []int, labels, radii []uint64) (bool, error) {
+	switch mode {
+	case ModeBFS:
+		want := graph.BFS(g, sources[0])
+		return compare("distance", labels, want)
+	case ModeCC:
+		want := graph.CC(g)
+		return compare("component", labels, want)
+	case ModeRadii:
+		want := graph.Radii(g, sources)
+		return compare("radius", radii, want)
+	}
+	return false, fmt.Errorf("unknown mode %v", mode)
+}
+
+func compare(what string, got, want []uint64) (bool, error) {
+	if len(got) != len(want) {
+		return false, fmt.Errorf("%s array length %d, want %d", what, len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			return false, fmt.Errorf("vertex %d: %s %d, want %d", v, what, got[v], want[v])
+		}
+	}
+	return true, nil
+}
+
+// DefaultSource returns the deterministic BFS source: the highest-degree
+// vertex (ties to the lowest id), so traversals cover the graph's core.
+func DefaultSource(g *graph.Graph) int {
+	best, bestDeg := 0, -1
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(v); d > bestDeg {
+			best, bestDeg = v, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,65 @@
+package prd
+
+import (
+	"fmt"
+
+	"fifer/internal/apps"
+	"fifer/internal/core"
+	"fifer/internal/graph"
+	"fifer/internal/mem"
+)
+
+func backingFor(g *graph.Graph) int {
+	n, m := g.NumVertices(), g.NumEdges()
+	words := 8*n + m + 4096
+	return words*mem.WordBytes*2 + (1 << 20)
+}
+
+func runApp(kind apps.SystemKind, g *graph.Graph, cfg graph.PRDConfig, scale int, merged bool, override func(*core.Config)) (apps.Outcome, error) {
+	out := apps.Outcome{Kind: kind}
+	want := graph.PRD(g, cfg)
+	var got []uint64
+	switch kind {
+	case apps.SerialOOO, apps.MulticoreOOO:
+		cores := 1
+		if kind == apps.MulticoreOOO {
+			cores = 4
+		}
+		m := apps.NewOOOMachine(cores, backingFor(g), scale)
+		got = runOOO(m, g, cfg)
+		out.Cycles = m.Cycles()
+		out.Counts = apps.CollectOOOCounts(m)
+		apps.FillOOO(&out, m)
+	case apps.StaticPipe, apps.FiferPipe:
+		ccfg := core.DefaultConfig()
+		if kind == apps.StaticPipe {
+			ccfg = core.StaticConfig()
+		}
+		ccfg.BackingBytes = backingFor(g)
+		if override != nil {
+			override(&ccfg)
+		}
+		sys := core.NewSystem(ccfg)
+		p := build(sys, g, cfg, merged)
+		res, err := p.run()
+		if err != nil {
+			return out, fmt.Errorf("%v prd: %w", kind, err)
+		}
+		if err := sys.CheckInvariants(); err != nil {
+			return out, fmt.Errorf("%v prd invariants: %w", kind, err)
+		}
+		out.Cycles = res.Cycles
+		out.Pipe = res
+		out.Counts = apps.CollectPipeCounts(sys, res)
+		got = p.ranks()
+	default:
+		return out, fmt.Errorf("unknown system kind %v", kind)
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			return out, fmt.Errorf("%v prd: vertex %d rank %d, want %d", kind, v, got[v], want[v])
+		}
+	}
+	out.Verified = true
+	return out, nil
+}

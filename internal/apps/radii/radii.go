@@ -1,0 +1,26 @@
+// Package radii is the graph-radii-estimation benchmark (Sec. 7.2): BFS
+// from a random sample of sources, recording each vertex's maximum observed
+// distance. The sample is seeded so every system sees identical sources.
+package radii
+
+import (
+	"fifer/internal/apps"
+	"fifer/internal/apps/graphpipe"
+	"fifer/internal/core"
+	"fifer/internal/graph"
+	"fifer/internal/sim"
+)
+
+// Name is the benchmark's reporting name.
+const Name = "Radii"
+
+// Samples is the number of BFS sources (the paper samples iterations to
+// bound simulation time; we do the same).
+const Samples = 4
+
+// Run executes Radii on the chosen system and input.
+func Run(kind apps.SystemKind, input graph.Input, scale graph.Scale, seed uint64, merged bool, override func(*core.Config)) (apps.Outcome, error) {
+	g := graph.Generate(input, scale, seed)
+	sources := graph.SampleSources(g, Samples, sim.NewRand(seed^0x4add1))
+	return graphpipe.RunApp(kind, graphpipe.ModeRadii, g, sources, int(scale), merged, override)
+}

@@ -1,0 +1,157 @@
+package spmm
+
+import (
+	"fmt"
+	"math"
+
+	"fifer/internal/apps"
+	"fifer/internal/core"
+	"fifer/internal/mem"
+	"fifer/internal/ooo"
+	"fifer/internal/sparse"
+)
+
+func backingFor(a *sparse.CSR, rows, cols []int) int {
+	words := 2*(a.NumRows+1) + 4*a.NNZ() + len(rows)*len(cols) + 8192
+	return words*mem.WordBytes*2 + (1 << 20)
+}
+
+func runApp(kind apps.SystemKind, a *sparse.CSR, b *sparse.CSC, rows, cols []int, scale int, merged bool, override func(*core.Config)) (apps.Outcome, error) {
+	out := apps.Outcome{Kind: kind}
+	want := sparse.SpMM(a, b, rows, cols)
+	var got [][]float64
+	switch kind {
+	case apps.SerialOOO, apps.MulticoreOOO:
+		cores := 1
+		if kind == apps.MulticoreOOO {
+			cores = 4
+		}
+		m := apps.NewOOOMachine(cores, backingFor(a, rows, cols), scale)
+		got = runOOO(m, a, b, rows, cols)
+		out.Cycles = m.Cycles()
+		out.Counts = apps.CollectOOOCounts(m)
+		apps.FillOOO(&out, m)
+	case apps.StaticPipe, apps.FiferPipe:
+		cfg := core.DefaultConfig()
+		if kind == apps.StaticPipe {
+			cfg = core.StaticConfig()
+		}
+		cfg.BackingBytes = backingFor(a, rows, cols)
+		apps.ScaleLLC(&cfg, scale)
+		if override != nil {
+			override(&cfg)
+		}
+		sys := core.NewSystem(cfg)
+		p := build(sys, a, b, rows, cols, merged)
+		res, err := sys.Run(core.ProgramFunc(func(*core.System) bool { return false }))
+		if err != nil {
+			return out, fmt.Errorf("%v spmm: %w", kind, err)
+		}
+		if err := sys.CheckInvariants(); err != nil {
+			return out, fmt.Errorf("%v spmm invariants: %w", kind, err)
+		}
+		out.Cycles = res.Cycles
+		out.Pipe = res
+		out.Counts = apps.CollectPipeCounts(sys, res)
+		got = p.extract()
+	default:
+		return out, fmt.Errorf("unknown system kind %v", kind)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				return out, fmt.Errorf("%v spmm: C[%d][%d] = %g, want %g", kind, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	out.Verified = true
+	return out, nil
+}
+
+// extract reads the computed output blocks back out of simulated memory,
+// reassembled in (sampled row, sampled col) order.
+func (p *pipeline) extract() [][]float64 {
+	out := make([][]float64, len(p.rows))
+	for i := range out {
+		out[i] = make([]float64, len(p.cols))
+	}
+	for _, rep := range p.reps {
+		idx := 0
+		for i := rep.rLo; i < rep.rHi; i++ {
+			for j := range p.cols {
+				out[i][j] = math.Float64frombits(p.sys.Backing.Load(rep.outA + mem.Addr(idx*mem.WordBytes)))
+				idx++
+			}
+		}
+	}
+	return out
+}
+
+// runOOO executes the reference inner-product SpMM through the OOO model,
+// chunking sampled rows across cores.
+func runOOO(m *ooo.Machine, a *sparse.CSR, b *sparse.CSC, rows, cols []int) [][]float64 {
+	bs := m.Backing
+	aOffA := bs.AllocSlice(a.RowOffsets)
+	aColA := bs.AllocSlice(a.ColIdx)
+	aValA := bs.AllocSlice(bitsOf(a.Values))
+	bOffA := bs.AllocSlice(b.ColOffsets)
+	bRowA := bs.AllocSlice(b.RowIdx)
+	bValA := bs.AllocSlice(bitsOf(b.Values))
+	outA := bs.AllocWords(len(rows) * len(cols))
+
+	out := make([][]float64, len(rows))
+	for i := range out {
+		out[i] = make([]float64, len(cols))
+	}
+	k := len(m.Cores)
+	per := (len(rows) + k - 1) / k
+	for ci, c := range m.Cores {
+		lo, hi := ci*per, (ci+1)*per
+		if lo > len(rows) {
+			lo = len(rows)
+		}
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		for ri := lo; ri < hi; ri++ {
+			i := rows[ri]
+			c.Load(aOffA+mem.Addr(uint64(i)*mem.WordBytes), 0)
+			c.Load(aOffA+mem.Addr(uint64(i+1)*mem.WordBytes), 0)
+			for cj, j := range cols {
+				c.Load(bOffA+mem.Addr(uint64(j)*mem.WordBytes), 0)
+				c.Load(bOffA+mem.Addr(uint64(j+1)*mem.WordBytes), 0)
+				ai, aEnd := a.RowOffsets[i], a.RowOffsets[i+1]
+				bi, bEnd := b.ColOffsets[j], b.ColOffsets[j+1]
+				sum := 0.0
+				for ai < aEnd && bi < bEnd {
+					depA := c.Load(aColA+mem.Addr(ai*mem.WordBytes), 0)
+					depB := c.Load(bRowA+mem.Addr(bi*mem.WordBytes), 0)
+					ac, bc := a.ColIdx[ai], b.RowIdx[bi]
+					c.Op(2) // compares
+					dep := depA
+					if depB > dep {
+						dep = depB
+					}
+					c.Branch(20, ac == bc, dep)
+					switch {
+					case ac < bc:
+						ai++
+					case bc < ac:
+						bi++
+					default:
+						c.Load(aValA+mem.Addr(ai*mem.WordBytes), depA)
+						c.Load(bValA+mem.Addr(bi*mem.WordBytes), depB)
+						c.Op(1) // FMA
+						sum = math.FMA(a.Values[ai], b.Values[bi], sum)
+						ai++
+						bi++
+					}
+				}
+				out[ri][cj] = sum
+				c.StoreValue(outA+mem.Addr(uint64(ri*len(cols)+cj)*mem.WordBytes), math.Float64bits(sum))
+			}
+		}
+	}
+	m.Barrier()
+	return out
+}

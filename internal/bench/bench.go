@@ -1,0 +1,90 @@
+// Package bench regenerates every table and figure from the paper's
+// evaluation section (Sec. 8). Each experiment has a driver that runs the
+// required (application × input × system) combinations and a formatter that
+// prints the same rows or series the paper reports. DESIGN.md's experiment
+// index maps each driver back to its table/figure.
+package bench
+
+import (
+	"fmt"
+
+	"fifer/internal/apps"
+	"fifer/internal/apps/bfs"
+	"fifer/internal/apps/cc"
+	"fifer/internal/apps/prd"
+	"fifer/internal/apps/radii"
+	"fifer/internal/apps/silo"
+	"fifer/internal/apps/spmm"
+	"fifer/internal/core"
+	"fifer/internal/graph"
+	"fifer/internal/sparse"
+)
+
+// Options selects the workload size for all experiments.
+type Options struct {
+	Scale int      // 0 = tiny (tests/benches), 1 = small (default), 2 = medium
+	Seed  uint64   //
+	Apps  []string // subset of AppNames; nil means all
+}
+
+// DefaultOptions returns the standard harness configuration.
+func DefaultOptions() Options { return Options{Scale: 1, Seed: 1} }
+
+// AppNames lists the six benchmarks in the paper's order.
+var AppNames = []string{bfs.Name, cc.Name, prd.Name, radii.Name, spmm.Name, silo.Name}
+
+// InputsOf returns the input labels of an application (Table 3/4 names).
+func InputsOf(app string) []string {
+	switch app {
+	case spmm.Name:
+		out := make([]string, len(sparse.Inputs))
+		for i, in := range sparse.Inputs {
+			out[i] = string(in)
+		}
+		return out
+	case silo.Name:
+		return []string{"YCSB-C"}
+	default:
+		out := make([]string, len(graph.Inputs))
+		for i, in := range graph.Inputs {
+			out[i] = string(in)
+		}
+		return out
+	}
+}
+
+// selected returns the apps chosen by opt.
+func (opt Options) selected() []string {
+	if len(opt.Apps) == 0 {
+		return AppNames
+	}
+	return opt.Apps
+}
+
+// RunOne executes one (app, input, system) combination. Harness runs get a
+// bounded cycle budget so a misconfiguration surfaces as an error rather
+// than an endless simulation.
+func RunOne(app, input string, kind apps.SystemKind, merged bool, opt Options, override func(*core.Config)) (apps.Outcome, error) {
+	user := override
+	override = func(cfg *core.Config) {
+		cfg.MaxCycles = 400_000_000
+		if user != nil {
+			user(cfg)
+		}
+	}
+	switch app {
+	case bfs.Name:
+		return bfs.Run(kind, graph.Input(input), graph.Scale(opt.Scale), opt.Seed, merged, override)
+	case cc.Name:
+		return cc.Run(kind, graph.Input(input), graph.Scale(opt.Scale), opt.Seed, merged, override)
+	case prd.Name:
+		return prd.Run(kind, graph.Input(input), graph.Scale(opt.Scale), opt.Seed, merged, override)
+	case radii.Name:
+		return radii.Run(kind, graph.Input(input), graph.Scale(opt.Scale), opt.Seed, merged, override)
+	case spmm.Name:
+		return spmm.Run(kind, sparse.Input(input), opt.Scale, opt.Seed, merged, override)
+	case silo.Name:
+		return silo.Run(kind, opt.Scale, opt.Seed, merged, override)
+	}
+	return apps.Outcome{}, fmt.Errorf("bench: unknown app %q", app)
+}

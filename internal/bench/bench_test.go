@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"fifer/internal/apps"
+)
+
+func TestInputsOf(t *testing.T) {
+	for _, app := range AppNames {
+		if len(InputsOf(app)) == 0 {
+			t.Fatalf("%s: no inputs", app)
+		}
+	}
+	if len(InputsOf("BFS")) != 5 || len(InputsOf("SpMM")) != 6 || len(InputsOf("Silo")) != 1 {
+		t.Fatal("input registries wrong")
+	}
+}
+
+func TestRunOneUnknownApp(t *testing.T) {
+	if _, err := RunOne("nope", "x", apps.FiferPipe, false, DefaultOptions(), nil); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestOptionsSubset(t *testing.T) {
+	opt := Options{Apps: []string{"BFS"}}
+	if got := opt.selected(); len(got) != 1 || got[0] != "BFS" {
+		t.Fatalf("selected = %v", got)
+	}
+	if got := (Options{}).selected(); len(got) != len(AppNames) {
+		t.Fatal("default selection wrong")
+	}
+}
+
+func TestFig13SingleApp(t *testing.T) {
+	opt := Options{Scale: 0, Seed: 1, Apps: []string{"BFS"}}
+	d, err := Fig13(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cells) != 5 {
+		t.Fatalf("cells = %d, want 5", len(d.Cells))
+	}
+	for _, c := range d.Cells {
+		for _, kind := range apps.Kinds {
+			if !c.Outcomes[kind].Verified {
+				t.Fatalf("%s/%s %v unverified", c.App, c.Input, kind)
+			}
+		}
+		if c.Speedup(apps.MulticoreOOO) != 1.0 {
+			t.Fatal("normalization broken")
+		}
+	}
+	if d.GMeanSpeedup("BFS", apps.FiferPipe, apps.StaticPipe) <= 1 {
+		t.Fatal("Fifer not faster than static on BFS")
+	}
+	var b strings.Builder
+	d.Print(&b)
+	d.PrintFig14(&b, opt)
+	d.PrintFig15(&b, opt)
+	d.PrintTable5(&b, opt)
+	for _, want := range []string{"Figure 13", "Figure 14", "Figure 15", "Table 5", "fifer-16pe"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}
+
+func TestZeroCostNeverSlower(t *testing.T) {
+	opt := Options{Scale: 0, Seed: 1, Apps: []string{"SpMM"}}
+	r, err := ZeroCost(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GMean < 0.99 {
+		t.Fatalf("zero-cost reconfig gmean %.2f < 1", r.GMean)
+	}
+}

@@ -1,0 +1,21 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+func TestDryAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	opt := Options{Scale: 0, Seed: 1}
+	d, err := Fig13(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Print(os.Stdout)
+	d.PrintTable5(os.Stdout, opt)
+	d.PrintFig14(os.Stdout, opt)
+	d.PrintFig15(os.Stdout, opt)
+}

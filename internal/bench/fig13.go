@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"fifer/internal/apps"
+	"fifer/internal/stats"
+)
+
+// Fig13Cell holds the four systems' outcomes for one (app, input).
+type Fig13Cell struct {
+	App, Input string
+	Outcomes   map[apps.SystemKind]apps.Outcome
+}
+
+// Speedup returns kind's speedup normalized to the 4-core OOO baseline
+// (Fig. 13's normalization).
+func (c Fig13Cell) Speedup(kind apps.SystemKind) float64 {
+	base := c.Outcomes[apps.MulticoreOOO].Cycles
+	own := c.Outcomes[kind].Cycles
+	if own == 0 {
+		return 0
+	}
+	return float64(base) / float64(own)
+}
+
+// Fig13Data is the full per-input performance sweep.
+type Fig13Data struct {
+	Cells []Fig13Cell
+}
+
+// Fig13 runs every application on every input on all four systems.
+func Fig13(opt Options) (*Fig13Data, error) {
+	data := &Fig13Data{}
+	for _, app := range opt.selected() {
+		for _, input := range InputsOf(app) {
+			cell := Fig13Cell{App: app, Input: input, Outcomes: map[apps.SystemKind]apps.Outcome{}}
+			for _, kind := range apps.Kinds {
+				out, err := RunOne(app, input, kind, false, opt, nil)
+				if err != nil {
+					return nil, fmt.Errorf("fig13 %s/%s: %w", app, input, err)
+				}
+				cell.Outcomes[kind] = out
+			}
+			data.Cells = append(data.Cells, cell)
+		}
+	}
+	return data, nil
+}
+
+// GMeanSpeedup returns the geometric-mean speedup of `over` relative to
+// `base` across cells of one app ("" = all apps).
+func (d *Fig13Data) GMeanSpeedup(app string, over, base apps.SystemKind) float64 {
+	var xs []float64
+	for _, c := range d.Cells {
+		if app != "" && c.App != app {
+			continue
+		}
+		b := c.Outcomes[base].Cycles
+		o := c.Outcomes[over].Cycles
+		if o > 0 && b > 0 {
+			xs = append(xs, float64(b)/float64(o))
+		}
+	}
+	return stats.GMean(xs)
+}
+
+// MaxSpeedup returns the maximum speedup of `over` vs `base` and the cell
+// where it occurs.
+func (d *Fig13Data) MaxSpeedup(over, base apps.SystemKind) (float64, string) {
+	best, where := 0.0, ""
+	for _, c := range d.Cells {
+		b := c.Outcomes[base].Cycles
+		o := c.Outcomes[over].Cycles
+		if o == 0 || b == 0 {
+			continue
+		}
+		if s := float64(b) / float64(o); s > best {
+			best, where = s, c.App+"/"+c.Input
+		}
+	}
+	return best, where
+}
+
+// Print renders the Fig. 13 speedup tables plus the paper's headline
+// comparisons from Sec. 8.1/8.2.
+func (d *Fig13Data) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 13: per-input speedup, normalized to the 4-core OOO baseline")
+	app := ""
+	var tbl *stats.Table
+	flush := func() {
+		if tbl != nil {
+			fmt.Fprintf(w, "\n(%s)\n%s", app, tbl)
+		}
+	}
+	for _, c := range d.Cells {
+		if c.App != app {
+			flush()
+			app = c.App
+			tbl = stats.NewTable("input", "serial-ooo", "4-core-ooo", "static-16pe", "fifer-16pe", "fifer/static")
+		}
+		fs := 0.0
+		if s := c.Outcomes[apps.StaticPipe].Cycles; s > 0 {
+			fs = float64(s) / float64(c.Outcomes[apps.FiferPipe].Cycles)
+		}
+		tbl.Add(c.Input,
+			fmt.Sprintf("%.2f", c.Speedup(apps.SerialOOO)),
+			fmt.Sprintf("%.2f", c.Speedup(apps.MulticoreOOO)),
+			fmt.Sprintf("%.2f", c.Speedup(apps.StaticPipe)),
+			fmt.Sprintf("%.2f", c.Speedup(apps.FiferPipe)),
+			fmt.Sprintf("%.2f", fs))
+	}
+	flush()
+
+	fmt.Fprintln(w, "\nHeadline comparisons (paper, Sec. 8.1-8.2):")
+	maxFS, where := d.MaxSpeedup(apps.FiferPipe, apps.StaticPipe)
+	fmt.Fprintf(w, "  Fifer vs static pipeline:  gmean %.2fx (paper: 2.8x), max %.2fx at %s (paper: 5.5x at CC/Rd)\n",
+		d.GMeanSpeedup("", apps.FiferPipe, apps.StaticPipe), maxFS, where)
+	fmt.Fprintf(w, "  Fifer vs 4-core OOO:       gmean %.2fx (paper: >17x)\n",
+		d.GMeanSpeedup("", apps.FiferPipe, apps.MulticoreOOO))
+	fmt.Fprintf(w, "  Static vs serial OOO:      gmean %.2fx (paper: 25x)\n",
+		d.GMeanSpeedup("", apps.StaticPipe, apps.SerialOOO))
+	fmt.Fprintf(w, "  Fifer vs serial OOO:       gmean %.2fx (paper: 72x)\n",
+		d.GMeanSpeedup("", apps.FiferPipe, apps.SerialOOO))
+}

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"fifer/internal/apps"
+	"fifer/internal/energy"
+	"fifer/internal/stats"
+)
+
+// Fig14 and Fig15 reuse the Fig. 13 sweep's outcomes: the cycle and energy
+// breakdowns are computed from the same runs.
+
+// CPIBreakdown is one system's Fig. 14 bar: fractions of core/PE cycles.
+type CPIBreakdown struct {
+	Issued, Stall, Queue, Reconfig, Idle float64
+	// NormCycles is total cycles normalized to the static pipeline's.
+	NormCycles float64
+}
+
+// Fig14App aggregates one application's four bars, averaged across inputs
+// and normalized to the static pipeline (the paper's presentation).
+func (d *Fig13Data) Fig14App(app string) map[apps.SystemKind]CPIBreakdown {
+	acc := map[apps.SystemKind]*CPIBreakdown{}
+	n := map[apps.SystemKind]int{}
+	for _, c := range d.Cells {
+		if c.App != app {
+			continue
+		}
+		staticCycles := float64(c.Outcomes[apps.StaticPipe].Cycles)
+		for _, kind := range apps.Kinds {
+			out := c.Outcomes[kind]
+			b := acc[kind]
+			if b == nil {
+				b = &CPIBreakdown{}
+				acc[kind] = b
+			}
+			var issued, stall, queue, reconfig, idle float64
+			switch kind {
+			case apps.SerialOOO, apps.MulticoreOOO:
+				cores := out.Counts.Cores
+				budget := float64(out.Cycles) * float64(cores)
+				issued = float64(out.OOOIssued) / budget
+				idle = float64(out.OOOIdle) / budget
+				stall = 1 - issued - idle
+			default:
+				issued, stall, queue, reconfig, idle = out.Pipe.Total.Fractions()
+			}
+			b.Issued += issued
+			b.Stall += stall
+			b.Queue += queue
+			b.Reconfig += reconfig
+			b.Idle += idle
+			if staticCycles > 0 {
+				b.NormCycles += float64(out.Cycles) / staticCycles
+			}
+			n[kind]++
+		}
+	}
+	out := map[apps.SystemKind]CPIBreakdown{}
+	for kind, b := range acc {
+		k := float64(n[kind])
+		out[kind] = CPIBreakdown{
+			Issued: b.Issued / k, Stall: b.Stall / k, Queue: b.Queue / k,
+			Reconfig: b.Reconfig / k, Idle: b.Idle / k, NormCycles: b.NormCycles / k,
+		}
+	}
+	return out
+}
+
+// PrintFig14 renders the cycle-breakdown stacks (Fig. 14), normalized to
+// the static pipeline.
+func (d *Fig13Data) PrintFig14(w io.Writer, opt Options) {
+	fmt.Fprintln(w, "Figure 14: cycle breakdown, normalized to the static pipeline (averaged across inputs)")
+	tbl := stats.NewTable("app", "system", "norm-cycles", "issued", "stalls", "queue-full/empty", "reconfig", "idle")
+	for _, app := range opt.selected() {
+		bars := d.Fig14App(app)
+		for _, kind := range apps.Kinds {
+			b := bars[kind]
+			tbl.Add(app, kind.String(),
+				fmt.Sprintf("%.2f", b.NormCycles),
+				fmt.Sprintf("%.2f", b.Issued*b.NormCycles),
+				fmt.Sprintf("%.2f", b.Stall*b.NormCycles),
+				fmt.Sprintf("%.2f", b.Queue*b.NormCycles),
+				fmt.Sprintf("%.2f", b.Reconfig*b.NormCycles),
+				fmt.Sprintf("%.2f", b.Idle*b.NormCycles))
+		}
+	}
+	fmt.Fprint(w, tbl)
+}
+
+// PrintFig15 renders the energy breakdowns (Fig. 15), normalized to the
+// static pipeline and averaged across inputs.
+func (d *Fig13Data) PrintFig15(w io.Writer, opt Options) {
+	fmt.Fprintln(w, "Figure 15: energy breakdown, normalized to the static pipeline (averaged across inputs)")
+	tbl := stats.NewTable("app", "system", "norm-energy", "memory", "caches", "compute", "leakage")
+	type agg struct {
+		b Breakdowns
+		n int
+	}
+	for _, app := range opt.selected() {
+		sums := map[apps.SystemKind]*agg{}
+		var staticTotal float64
+		var cnt int
+		for _, c := range d.Cells {
+			if c.App != app {
+				continue
+			}
+			staticTotal += energy.Model(c.Outcomes[apps.StaticPipe].Counts).Total()
+			cnt++
+			for _, kind := range apps.Kinds {
+				e := energy.Model(c.Outcomes[kind].Counts)
+				a := sums[kind]
+				if a == nil {
+					a = &agg{}
+					sums[kind] = a
+				}
+				a.b.Memory += e.Memory
+				a.b.Caches += e.Caches
+				a.b.Compute += e.Compute
+				a.b.Leakage += e.Leakage
+				a.n++
+			}
+		}
+		if cnt == 0 {
+			continue
+		}
+		norm := staticTotal / float64(cnt)
+		for _, kind := range apps.Kinds {
+			a := sums[kind]
+			k := float64(a.n) * norm
+			tbl.Add(app, kind.String(),
+				fmt.Sprintf("%.2f", (a.b.Memory+a.b.Caches+a.b.Compute+a.b.Leakage)/k),
+				fmt.Sprintf("%.2f", a.b.Memory/k),
+				fmt.Sprintf("%.2f", a.b.Caches/k),
+				fmt.Sprintf("%.2f", a.b.Compute/k),
+				fmt.Sprintf("%.2f", a.b.Leakage/k))
+		}
+	}
+	fmt.Fprint(w, tbl)
+	fmt.Fprintln(w, "\nHeadline (paper, Sec. 8.2): static pipeline gmean 12x better energy than 4-core OOO;")
+	fmt.Fprintln(w, "Fifer 1.5x better than static and 19x better than the 4-core OOO system.")
+	fmt.Fprintf(w, "Measured: static vs 4-core OOO %.1fx; Fifer vs static %.2fx; Fifer vs 4-core OOO %.1fx\n",
+		d.EnergyRatio(apps.MulticoreOOO, apps.StaticPipe),
+		d.EnergyRatio(apps.StaticPipe, apps.FiferPipe),
+		d.EnergyRatio(apps.MulticoreOOO, apps.FiferPipe))
+}
+
+// Breakdowns accumulates energy components.
+type Breakdowns struct {
+	Memory, Caches, Compute, Leakage float64
+}
+
+// EnergyRatio returns the gmean across cells of base's total energy divided
+// by over's (how much less energy `over` uses).
+func (d *Fig13Data) EnergyRatio(base, over apps.SystemKind) float64 {
+	var xs []float64
+	for _, c := range d.Cells {
+		b := energy.Model(c.Outcomes[base].Counts).Total()
+		o := energy.Model(c.Outcomes[over].Counts).Total()
+		if b > 0 && o > 0 {
+			xs = append(xs, b/o)
+		}
+	}
+	return stats.GMean(xs)
+}
+
+// PrintTable5 renders the residence/reconfiguration statistics (Table 5)
+// from the Fifer runs.
+func (d *Fig13Data) PrintTable5(w io.Writer, opt Options) {
+	fmt.Fprintln(w, "Table 5: average residence time and reconfiguration period (cycles)")
+	tbl := stats.NewTable("app", "avg residence", "avg reconfig period", "paper residence", "paper reconfig")
+	paper := map[string][2]float64{
+		"BFS": {140, 12.5}, "CC": {279, 13.9}, "PRD": {927, 20.4},
+		"Radii": {564, 27.7}, "SpMM": {30, 12.6}, "Silo": {1490, 60.1},
+	}
+	var allRes, allRec []float64
+	for _, app := range opt.selected() {
+		var res, rec []float64
+		for _, c := range d.Cells {
+			if c.App != app {
+				continue
+			}
+			out := c.Outcomes[apps.FiferPipe]
+			if out.Pipe.Reconfigs > 0 {
+				res = append(res, out.Pipe.MeanResidence)
+				rec = append(rec, out.Pipe.MeanReconfig)
+			}
+		}
+		p := paper[app]
+		tbl.Add(app, fmt.Sprintf("%.0f", stats.Mean(res)), fmt.Sprintf("%.1f", stats.Mean(rec)),
+			fmt.Sprintf("%.0f", p[0]), fmt.Sprintf("%.1f", p[1]))
+		allRes = append(allRes, res...)
+		allRec = append(allRec, rec...)
+	}
+	tbl.Add("Mean", fmt.Sprintf("%.0f", stats.Mean(allRes)), fmt.Sprintf("%.1f", stats.Mean(allRec)), "448", "19.7")
+	fmt.Fprint(w, tbl)
+}

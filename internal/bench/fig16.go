@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"fifer/internal/apps"
+	"fifer/internal/core"
+	"fifer/internal/stats"
+)
+
+// Fig16Point is one (app, scale-factor, double-buffering) measurement:
+// gmean speedup across inputs relative to the default configuration
+// (16 KB, double-buffered).
+type Fig16Point struct {
+	App     string
+	Factor  float64
+	Double  bool
+	Speedup float64
+}
+
+// Fig16Factors is the paper's queue-memory sweep (1x = 16 KB).
+var Fig16Factors = []float64{0.25, 0.5, 1, 2, 4}
+
+// Fig16 sweeps per-PE queue memory and double-buffered configuration cells
+// on the Fifer system.
+func Fig16(opt Options) ([]Fig16Point, error) {
+	var points []Fig16Point
+	for _, app := range opt.selected() {
+		inputs := InputsOf(app)
+		// Baseline cycles per input (factor 1, double-buffered).
+		base := make(map[string]uint64)
+		for _, input := range inputs {
+			out, err := RunOne(app, input, apps.FiferPipe, false, opt, nil)
+			if err != nil {
+				return nil, fmt.Errorf("fig16 %s/%s base: %w", app, input, err)
+			}
+			base[input] = out.Cycles
+		}
+		for _, factor := range Fig16Factors {
+			for _, double := range []bool{true, false} {
+				var xs []float64
+				for _, input := range inputs {
+					f, d := factor, double
+					out, err := RunOne(app, input, apps.FiferPipe, false, opt, func(cfg *core.Config) {
+						*cfg = cfg.WithQueueScale(f)
+						cfg.DoubleBuffered = d
+					})
+					if err != nil {
+						return nil, fmt.Errorf("fig16 %s/%s x%.2g db=%v: %w", app, input, factor, double, err)
+					}
+					xs = append(xs, float64(base[input])/float64(out.Cycles))
+				}
+				points = append(points, Fig16Point{App: app, Factor: factor, Double: double, Speedup: stats.GMean(xs)})
+			}
+		}
+	}
+	return points, nil
+}
+
+// PrintFig16 renders the sweep as the paper's per-app series.
+func PrintFig16(w io.Writer, points []Fig16Point, opt Options) {
+	fmt.Fprintln(w, "Figure 16: Fifer speedup vs per-PE queue memory (1x = 16 KB), with and")
+	fmt.Fprintln(w, "without double-buffered configuration cells, relative to the 1x default")
+	tbl := stats.NewTable("app", "variant", "0.25x", "0.5x", "1x", "2x", "4x")
+	for _, app := range opt.selected() {
+		for _, double := range []bool{true, false} {
+			label := "double-buffered"
+			if !double {
+				label = "no-double-buffer"
+			}
+			row := []any{app, label}
+			for _, f := range Fig16Factors {
+				for _, pt := range points {
+					if pt.App == app && pt.Factor == f && pt.Double == double {
+						row = append(row, fmt.Sprintf("%.2f", pt.Speedup))
+					}
+				}
+			}
+			tbl.Add(row...)
+		}
+	}
+	fmt.Fprint(w, tbl)
+}
+
+// ZeroCostResult compares default Fifer to idealized zero-cost
+// reconfiguration (Sec. 8.3's final experiment).
+type ZeroCostResult struct {
+	GMean float64
+	Max   float64
+	Where string
+}
+
+// ZeroCost measures the speedup of free reconfiguration over the default.
+func ZeroCost(opt Options) (ZeroCostResult, error) {
+	var res ZeroCostResult
+	var xs []float64
+	for _, app := range opt.selected() {
+		for _, input := range InputsOf(app) {
+			base, err := RunOne(app, input, apps.FiferPipe, false, opt, nil)
+			if err != nil {
+				return res, err
+			}
+			ideal, err := RunOne(app, input, apps.FiferPipe, false, opt, func(cfg *core.Config) {
+				cfg.ZeroCostReconfig = true
+			})
+			if err != nil {
+				return res, err
+			}
+			s := float64(base.Cycles) / float64(ideal.Cycles)
+			xs = append(xs, s)
+			if s > res.Max {
+				res.Max, res.Where = s, app+"/"+input
+			}
+		}
+	}
+	res.GMean = stats.GMean(xs)
+	return res, nil
+}
+
+// PrintZeroCost renders the Sec. 8.3 zero-cost-reconfiguration claim.
+func PrintZeroCost(w io.Writer, r ZeroCostResult) {
+	fmt.Fprintln(w, "Sec. 8.3: idealized zero-cost reconfiguration vs Fifer")
+	fmt.Fprintf(w, "  gmean speedup %.2fx (paper: ~1.10x), max %.2fx at %s (paper: 1.8x on SpMM/Gr)\n",
+		r.GMean, r.Max, r.Where)
+	fmt.Fprintln(w, "  Conclusion (paper): a poor tradeoff — too much complexity for limited benefit.")
+}

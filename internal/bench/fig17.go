@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"fifer/internal/apps"
+	"fifer/internal/stats"
+)
+
+// Fig17Row is one application's merged-stage comparison (Sec. 8.4):
+// gmean speedups across inputs, normalized to the fully decoupled static
+// pipeline.
+type Fig17Row struct {
+	App          string
+	MergedStatic float64
+	Fifer        float64
+}
+
+// Fig17 compares the fully decoupled static pipeline, the merged-stage
+// static pipeline, and Fifer.
+func Fig17(opt Options) ([]Fig17Row, error) {
+	var rows []Fig17Row
+	for _, app := range opt.selected() {
+		var merged, fifer []float64
+		for _, input := range InputsOf(app) {
+			base, err := RunOne(app, input, apps.StaticPipe, false, opt, nil)
+			if err != nil {
+				return nil, fmt.Errorf("fig17 %s/%s decoupled: %w", app, input, err)
+			}
+			m, err := RunOne(app, input, apps.StaticPipe, true, opt, nil)
+			if err != nil {
+				return nil, fmt.Errorf("fig17 %s/%s merged: %w", app, input, err)
+			}
+			f, err := RunOne(app, input, apps.FiferPipe, false, opt, nil)
+			if err != nil {
+				return nil, fmt.Errorf("fig17 %s/%s fifer: %w", app, input, err)
+			}
+			merged = append(merged, float64(base.Cycles)/float64(m.Cycles))
+			fifer = append(fifer, float64(base.Cycles)/float64(f.Cycles))
+		}
+		rows = append(rows, Fig17Row{App: app, MergedStatic: stats.GMean(merged), Fifer: stats.GMean(fifer)})
+	}
+	return rows, nil
+}
+
+// PrintFig17 renders the merged-stage comparison.
+func PrintFig17(w io.Writer, rows []Fig17Row) {
+	fmt.Fprintln(w, "Figure 17: merged-stage pipelines, normalized to the fully decoupled static pipeline")
+	tbl := stats.NewTable("app", "fully-decoupled static", "merged static", "fifer")
+	for _, r := range rows {
+		tbl.Add(r.App, "1.00", fmt.Sprintf("%.2f", r.MergedStatic), fmt.Sprintf("%.2f", r.Fifer))
+	}
+	fmt.Fprint(w, tbl)
+	fmt.Fprintln(w, "\nPaper's reading: merging hurts BFS (4.4x slower static) and CC, slightly helps")
+	fmt.Fprintln(w, "PRD/Radii, and helps SpMM on sparse inputs; Silo degrades slightly.")
+}

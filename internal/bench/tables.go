@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"fifer/internal/core"
+	"fifer/internal/energy"
+	"fifer/internal/graph"
+	"fifer/internal/sparse"
+	"fifer/internal/stats"
+)
+
+// PrintTable1 renders the per-PE area breakdown (Table 1).
+func PrintTable1(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: implementation costs for major components of a Fifer PE (45 nm, 2 GHz)")
+	tbl := stats.NewTable("item", "area (mm^2)")
+	tbl.Add("Reconfigurable fabric, 16x5 func. units", fmt.Sprintf("%.2f", energy.AreaFabricMM2))
+	tbl.Add("4x double-precision FMA units", fmt.Sprintf("%.2f", energy.AreaFMAMM2))
+	tbl.Add("16 KB queue SRAM", fmt.Sprintf("%.3f", energy.AreaQueueSRAMMM2))
+	tbl.Add("4x decoupled reference machines (DRMs)", fmt.Sprintf("%.4f", energy.AreaDRMsMM2))
+	tbl.Add("32 KB data cache", fmt.Sprintf("%.2f", energy.AreaDCacheMM2))
+	tbl.Add("Total area (per PE)", fmt.Sprintf("%.2f", energy.AreaPEMM2))
+	fmt.Fprint(w, tbl)
+	fmt.Fprintf(w, "\nEach PE is %.1f%% of the area of an OOO core at the same node (paper: 4.6%%).\n",
+		100*energy.AreaPEMM2/energy.AreaOOOCoreMM2)
+}
+
+// PrintTable2 renders the system configuration (Table 2).
+func PrintTable2(w io.Writer) {
+	cfg := core.DefaultConfig()
+	fmt.Fprintln(w, "Table 2: configuration parameters of the evaluated system")
+	tbl := stats.NewTable("component", "configuration")
+	tbl.Add("PEs", fmt.Sprintf("%d PEs, 2 GHz, %dx%d func. unit mesh, 32 KB L1 (8-way, 4-cycle)",
+		cfg.PEs, cfg.Fabric.Rows, cfg.Fabric.Cols))
+	tbl.Add("Fifer", fmt.Sprintf("up to 16 queues per PE, virtualized on a %d KB buffer", cfg.QueueMemBytes>>10))
+	tbl.Add("Cores", "1 or 4 cores, 2 GHz, Skylake-like: 6-wide OOO, 32 KB L1, 256 KB L2 (12-cycle)")
+	tbl.Add("LLC", fmt.Sprintf("%d KB/PE or 2 MB/core, 16-way, 40-cycle latency", cfg.Hier.LLCBytes/cfg.PEs>>10))
+	tbl.Add("Main mem", fmt.Sprintf("%d-cycle latency, 256 GB/s high-bandwidth memory", cfg.Hier.MemLatency))
+	fmt.Fprint(w, tbl)
+}
+
+// PrintTable3 renders the input-graph characteristics (Table 3): paper
+// datasets alongside the generated stand-ins at the chosen scale.
+func PrintTable3(w io.Writer, opt Options) {
+	fmt.Fprintln(w, "Table 3: input graphs (paper dataset -> generated synthetic stand-in)")
+	tbl := stats.NewTable("graph", "domain", "paper V", "paper E", "paper deg", "gen V", "gen E", "gen deg")
+	for _, in := range graph.Inputs {
+		pv, pe, pd, domain := graph.PaperStats(in)
+		g := graph.Generate(in, graph.Scale(opt.Scale), opt.Seed)
+		tbl.Add(string(in), domain+" ("+graph.DatasetName(in)+")", pv, pe, fmt.Sprintf("%.1f", pd),
+			g.NumVertices(), g.NumEdges(), fmt.Sprintf("%.1f", g.AvgDegree()))
+	}
+	fmt.Fprint(w, tbl)
+}
+
+// PrintTable4 renders the input-matrix characteristics (Table 4).
+func PrintTable4(w io.Writer, opt Options) {
+	fmt.Fprintln(w, "Table 4: input matrices (paper dataset -> generated synthetic stand-in)")
+	tbl := stats.NewTable("matrix", "domain", "paper n", "paper nnz/row", "gen n", "gen nnz/row")
+	for _, in := range sparse.Inputs {
+		pn, pd, domain := sparse.PaperStats(in)
+		m := sparse.Generate(in, opt.Scale, opt.Seed)
+		tbl.Add(string(in), domain, pn, fmt.Sprintf("%.1f", pd),
+			m.NumRows, fmt.Sprintf("%.1f", m.AvgNNZPerRow()))
+	}
+	fmt.Fprint(w, tbl)
+}

@@ -1,0 +1,217 @@
+// Package btree implements the in-memory B+tree index that the Silo
+// benchmark performs lookups against (Sec. 7.2). The tree is built in Go
+// and then laid out in the simulator's backing store with an explicit node
+// format, so simulated pipelines traverse it with real loads and real cache
+// behavior.
+package btree
+
+import (
+	"fmt"
+	"sort"
+
+	"fifer/internal/mem"
+)
+
+// Fanout is the number of keys per node. 8 keys makes a node 17 words
+// (136 B ≈ 2 cache lines), giving trees of depth ~7 for a few million keys,
+// comparable to Silo's Masstree-style index behavior.
+const Fanout = 8
+
+// Node layout in simulated memory, in 64-bit words:
+//
+//	word 0:            header = numKeys<<1 | leafBit
+//	words 1..Fanout:   keys (only numKeys valid)
+//	words Fanout+1..:  leaf: values; internal: child node addresses
+//	                   (internal nodes hold numKeys+1 children)
+const (
+	hdrWord   = 0
+	keysWord  = 1
+	childWord = keysWord + Fanout
+	nodeWords = childWord + Fanout + 1
+	leafBit   = 1
+)
+
+// NodeBytes is a node's footprint in simulated memory.
+const NodeBytes = nodeWords * mem.WordBytes
+
+// node is the Go-side build representation.
+type node struct {
+	leaf     bool
+	keys     []uint64
+	values   []uint64 // leaves only
+	children []*node  // internal only
+	addr     mem.Addr
+}
+
+// Tree is a B+tree plus its simulated-memory image.
+type Tree struct {
+	root     *node
+	height   int
+	numKeys  int
+	RootAddr mem.Addr
+}
+
+// Build constructs a B+tree over the given key/value pairs (bulk-loaded,
+// keys must be unique) and lays it out in backing. Keys are sorted
+// internally.
+func Build(backing *mem.Backing, keys, values []uint64) (*Tree, error) {
+	if len(keys) != len(values) {
+		return nil, fmt.Errorf("btree: %d keys but %d values", len(keys), len(values))
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("btree: empty key set")
+	}
+	type kv struct{ k, v uint64 }
+	pairs := make([]kv, len(keys))
+	for i := range keys {
+		pairs[i] = kv{keys[i], values[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].k == pairs[i-1].k {
+			return nil, fmt.Errorf("btree: duplicate key %d", pairs[i].k)
+		}
+	}
+
+	// Bulk-load leaves.
+	var level []*node
+	for i := 0; i < len(pairs); i += Fanout {
+		end := i + Fanout
+		if end > len(pairs) {
+			end = len(pairs)
+		}
+		n := &node{leaf: true}
+		for _, p := range pairs[i:end] {
+			n.keys = append(n.keys, p.k)
+			n.values = append(n.values, p.v)
+		}
+		level = append(level, n)
+	}
+	height := 1
+	// Build internal levels: an internal node over children c0..ck uses
+	// separator keys = first key of each child after the first.
+	for len(level) > 1 {
+		var up []*node
+		for i := 0; i < len(level); i += Fanout + 1 {
+			end := i + Fanout + 1
+			if end > len(level) {
+				end = len(level)
+			}
+			n := &node{}
+			n.children = append(n.children, level[i:end]...)
+			for _, c := range level[i+1 : end] {
+				n.keys = append(n.keys, firstKey(c))
+			}
+			up = append(up, n)
+		}
+		level = up
+		height++
+	}
+	t := &Tree{root: level[0], height: height, numKeys: len(pairs)}
+	t.layout(backing, t.root)
+	t.RootAddr = t.root.addr
+	return t, nil
+}
+
+func firstKey(n *node) uint64 {
+	for !n.leaf {
+		n = n.children[0]
+	}
+	return n.keys[0]
+}
+
+// layout writes the subtree into simulated memory (children first so every
+// child address is known when the parent is written).
+func (t *Tree) layout(backing *mem.Backing, n *node) {
+	if !n.leaf {
+		for _, c := range n.children {
+			t.layout(backing, c)
+		}
+	}
+	n.addr = backing.Alloc(NodeBytes)
+	hdr := uint64(len(n.keys)) << 1
+	if n.leaf {
+		hdr |= leafBit
+	}
+	backing.Store(n.addr+hdrWord*mem.WordBytes, hdr)
+	for i, k := range n.keys {
+		backing.Store(n.addr+mem.Addr((keysWord+i)*mem.WordBytes), k)
+	}
+	if n.leaf {
+		for i, v := range n.values {
+			backing.Store(n.addr+mem.Addr((childWord+i)*mem.WordBytes), v)
+		}
+	} else {
+		for i, c := range n.children {
+			backing.Store(n.addr+mem.Addr((childWord+i)*mem.WordBytes), uint64(c.addr))
+		}
+	}
+}
+
+// Height returns the number of node levels.
+func (t *Tree) Height() int { return t.height }
+
+// NumKeys returns the number of stored keys.
+func (t *Tree) NumKeys() int { return t.numKeys }
+
+// Lookup is the Go-side reference: it returns the value for key and whether
+// it was found.
+func (t *Tree) Lookup(key uint64) (uint64, bool) {
+	n := t.root
+	for !n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+		n = n.children[i]
+	}
+	for i, k := range n.keys {
+		if k == key {
+			return n.values[i], true
+		}
+	}
+	return 0, false
+}
+
+// --- Simulated-memory traversal helpers -----------------------------------
+//
+// These mirror exactly what the Silo pipeline stages do with loads, and are
+// used by tests to validate the layout and by the OOO trace generator.
+
+// DecodeHeader splits a node header word.
+func DecodeHeader(hdr uint64) (numKeys int, leaf bool) {
+	return int(hdr >> 1), hdr&leafBit != 0
+}
+
+// KeyAddr returns the simulated address of keys[i] in the node at addr.
+func KeyAddr(addr mem.Addr, i int) mem.Addr {
+	return addr + mem.Addr((keysWord+i)*mem.WordBytes)
+}
+
+// ChildAddr returns the simulated address of children[i] (or values[i] in a
+// leaf).
+func ChildAddr(addr mem.Addr, i int) mem.Addr {
+	return addr + mem.Addr((childWord+i)*mem.WordBytes)
+}
+
+// SimLookup walks the simulated-memory image the way the hardware pipeline
+// does: linear key scans within a node, one child dereference per level.
+// It returns the value, whether the key was found, and the number of node
+// visits (pipeline cycles around the Silo loop, Fig. 12b).
+func SimLookup(backing *mem.Backing, root mem.Addr, key uint64) (val uint64, found bool, visits int) {
+	addr := root
+	for {
+		visits++
+		numKeys, leaf := DecodeHeader(backing.Load(addr + hdrWord*mem.WordBytes))
+		if leaf {
+			for i := 0; i < numKeys; i++ {
+				if backing.Load(KeyAddr(addr, i)) == key {
+					return backing.Load(ChildAddr(addr, i)), true, visits
+				}
+			}
+			return 0, false, visits
+		}
+		i := 0
+		for i < numKeys && key >= backing.Load(KeyAddr(addr, i)) {
+			i++
+		}
+		addr = mem.Addr(backing.Load(ChildAddr(addr, i)))
+	}
+}

@@ -1,0 +1,145 @@
+package btree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fifer/internal/mem"
+	"fifer/internal/sim"
+)
+
+func build(t *testing.T, n int) (*Tree, *mem.Backing) {
+	t.Helper()
+	b := mem.NewBacking(64 << 20)
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i) * 0x9e3779b97f4a7c15 // unique, scattered
+		vals[i] = uint64(i) + 1000
+	}
+	tr, err := Build(b, keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, b
+}
+
+func TestBuildAndLookup(t *testing.T) {
+	tr, _ := build(t, 1000)
+	if tr.NumKeys() != 1000 {
+		t.Fatal("key count wrong")
+	}
+	for i := 0; i < 1000; i++ {
+		k := uint64(i) * 0x9e3779b97f4a7c15
+		v, ok := tr.Lookup(k)
+		if !ok || v != uint64(i)+1000 {
+			t.Fatalf("lookup %d: %d %v", i, v, ok)
+		}
+	}
+	if _, ok := tr.Lookup(12345); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	b := mem.NewBacking(1 << 20)
+	if _, err := Build(b, []uint64{1, 1}, []uint64{2, 3}); err == nil {
+		t.Fatal("duplicate keys accepted")
+	}
+	if _, err := Build(b, []uint64{1}, []uint64{}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := Build(b, nil, nil); err == nil {
+		t.Fatal("empty key set accepted")
+	}
+}
+
+func TestSimLookupMatchesGoLookup(t *testing.T) {
+	tr, b := build(t, 5000)
+	for i := 0; i < 5000; i += 7 {
+		k := uint64(i) * 0x9e3779b97f4a7c15
+		want, _ := tr.Lookup(k)
+		got, ok, visits := SimLookup(b, tr.RootAddr, k)
+		if !ok || got != want {
+			t.Fatalf("sim lookup %d: %d %v", i, got, ok)
+		}
+		if visits != tr.Height() {
+			t.Fatalf("visits = %d, want height %d", visits, tr.Height())
+		}
+	}
+	if _, ok, _ := SimLookup(b, tr.RootAddr, 999); ok {
+		t.Fatal("sim lookup found missing key")
+	}
+}
+
+// Property: the tree is equivalent to a map oracle for random key sets.
+func TestTreeMatchesMapOracle(t *testing.T) {
+	f := func(seed uint64, size uint16) bool {
+		n := int(size%2000) + 1
+		r := sim.NewRand(seed)
+		oracle := make(map[uint64]uint64, n)
+		var keys, vals []uint64
+		for len(oracle) < n {
+			k := r.Uint64()
+			if _, dup := oracle[k]; dup {
+				continue
+			}
+			v := r.Uint64()
+			oracle[k] = v
+			keys = append(keys, k)
+			vals = append(vals, v)
+		}
+		b := mem.NewBacking(256 << 20)
+		tr, err := Build(b, keys, vals)
+		if err != nil {
+			return false
+		}
+		for k, v := range oracle {
+			if got, ok := tr.Lookup(k); !ok || got != v {
+				return false
+			}
+			if got, ok, _ := SimLookup(b, tr.RootAddr, k); !ok || got != v {
+				return false
+			}
+		}
+		// Probe some absent keys.
+		for i := 0; i < 16; i++ {
+			k := r.Uint64()
+			if _, present := oracle[k]; present {
+				continue
+			}
+			if _, ok := tr.Lookup(k); ok {
+				return false
+			}
+			if _, ok, _ := SimLookup(b, tr.RootAddr, k); ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	small, _ := build(t, Fanout) // one leaf
+	if small.Height() != 1 {
+		t.Fatalf("height = %d, want 1", small.Height())
+	}
+	big, _ := build(t, 10_000)
+	if big.Height() < 4 || big.Height() > 7 {
+		t.Fatalf("height = %d, implausible for 10k keys with fanout %d", big.Height(), Fanout)
+	}
+}
+
+func TestHeaderCodec(t *testing.T) {
+	n, leaf := DecodeHeader(7<<1 | 1)
+	if n != 7 || !leaf {
+		t.Fatal("header decode wrong")
+	}
+	n, leaf = DecodeHeader(3 << 1)
+	if n != 3 || leaf {
+		t.Fatal("internal header decode wrong")
+	}
+}

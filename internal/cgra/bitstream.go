@@ -1,0 +1,108 @@
+package cgra
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Bitstream generation: the final step of the Fig. 5 compilation flow.
+// A mapping is serialized into the byte image that reconfiguration streams
+// from the L1 into the chained configuration cells (Sec. 5.1). The format
+// is a simple fixed layout — one record per functional unit in row-major
+// order, followed by switch-plane bytes — sized to match the fabric's
+// FullConfigBytes (≈360 B for the 16×5 grid, 4.5 B/unit).
+//
+// Unit record (4 bytes): opcode, operand-A route, operand-B route, imm-low.
+// The remaining 0.5 B/unit forms the switch plane (one nibble per unit).
+
+const unitRecordBytes = 4
+
+// Encode serializes the mapping's placed datapath. Node i of each replica
+// occupies consecutive units; unused units carry OpNop records. The result
+// always has exactly m.ConfigBytes bytes, the size the timing model charges.
+func (m *Mapping) Encode() []byte {
+	out := make([]byte, m.ConfigBytes)
+	units := m.Fabric.Units()
+	// Per-unit records.
+	idx := 0
+	for rep := 0; rep < m.Replicas; rep++ {
+		for _, n := range m.DFG.Nodes {
+			if n.Kind == OpNop || n.Kind.IsFMA() {
+				continue // FMAs configure dedicated units, folded into switch plane
+			}
+			if idx >= units {
+				break
+			}
+			rec := out[idx*unitRecordBytes:]
+			if len(rec) < unitRecordBytes {
+				break
+			}
+			rec[0] = byte(n.Kind)
+			a, b := byte(0xff), byte(0xff)
+			if len(n.Args) > 0 {
+				a = byte(n.Args[0])
+			}
+			if len(n.Args) > 1 {
+				b = byte(n.Args[1])
+			}
+			rec[1], rec[2] = a, b
+			rec[3] = byte(n.Imm)
+			idx++
+		}
+	}
+	// Switch plane: a checksum-ish fill derived from the DFG so different
+	// stages produce different bitstreams (useful for tests and debugging).
+	plane := out[units*unitRecordBytes:]
+	var h uint64 = 1469598103934665603
+	for _, n := range m.DFG.Nodes {
+		h ^= uint64(n.Kind)<<8 ^ n.Imm
+		h *= 1099511628211
+	}
+	var hb [8]byte
+	binary.LittleEndian.PutUint64(hb[:], h)
+	for i := range plane {
+		plane[i] = hb[i%8]
+	}
+	return out
+}
+
+// DecodeUnits parses the unit records of a bitstream back into (opcode,
+// argA, argB, imm) tuples for validation.
+func DecodeUnits(fabric FabricConfig, bs []byte) ([][4]byte, error) {
+	if len(bs) != fabric.FullConfigBytes() {
+		return nil, fmt.Errorf("cgra: bitstream is %d bytes, want %d", len(bs), fabric.FullConfigBytes())
+	}
+	units := fabric.Units()
+	recs := make([][4]byte, 0, units)
+	for i := 0; i < units; i++ {
+		off := i * unitRecordBytes
+		if off+unitRecordBytes > len(bs) {
+			break
+		}
+		recs = append(recs, [4]byte{bs[off], bs[off+1], bs[off+2], bs[off+3]})
+	}
+	return recs, nil
+}
+
+// VerifyBitstream checks that a bitstream is consistent with its mapping:
+// the first replica's non-nop nodes appear in order with their opcodes.
+func VerifyBitstream(m *Mapping, bs []byte) error {
+	recs, err := DecodeUnits(m.Fabric, bs)
+	if err != nil {
+		return err
+	}
+	i := 0
+	for _, n := range m.DFG.Nodes {
+		if n.Kind == OpNop || n.Kind.IsFMA() {
+			continue
+		}
+		if i >= len(recs) {
+			return fmt.Errorf("cgra: bitstream truncated at unit %d", i)
+		}
+		if OpKind(recs[i][0]) != n.Kind {
+			return fmt.Errorf("cgra: unit %d holds op %v, want %v", i, OpKind(recs[i][0]), n.Kind)
+		}
+		i++
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package cgra
+
+import (
+	"fmt"
+	"math"
+)
+
+// InterpEnv supplies the environment a DFG interpretation runs in: queue
+// reads/writes and memory accesses. It exists so tests can validate that a
+// stage's hand-written kernel matches its declared dataflow graph.
+type InterpEnv struct {
+	// DeqFn returns the next value from input queue q.
+	DeqFn func(q int) (uint64, bool)
+	// EnqFn delivers v to output queue q.
+	EnqFn func(q int, v uint64)
+	// LoadFn returns the word at addr.
+	LoadFn func(addr uint64) uint64
+	// StoreFn writes v to addr.
+	StoreFn func(addr uint64, v uint64)
+}
+
+// Interpret executes one firing of the DFG: every node evaluates once, in
+// topological (construction) order. It returns the value of each node,
+// indexed by NodeID. Missing environment hooks cause a panic only if the
+// graph actually uses them.
+func Interpret(g *DFG, env InterpEnv) ([]uint64, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	vals := make([]uint64, len(g.Nodes))
+	arg := func(n Node, i int) uint64 { return vals[n.Args[i]] }
+	for i, n := range g.Nodes {
+		switch n.Kind {
+		case OpNop:
+			// no value
+		case OpConst:
+			vals[i] = n.Imm
+		case OpAdd:
+			vals[i] = arg(n, 0) + arg(n, 1)
+		case OpSub:
+			vals[i] = arg(n, 0) - arg(n, 1)
+		case OpMul:
+			vals[i] = arg(n, 0) * arg(n, 1)
+		case OpDiv:
+			if d := arg(n, 1); d != 0 {
+				vals[i] = arg(n, 0) / d
+			}
+		case OpShl:
+			vals[i] = arg(n, 0) << (arg(n, 1) & 63)
+		case OpShr:
+			vals[i] = arg(n, 0) >> (arg(n, 1) & 63)
+		case OpAnd:
+			vals[i] = arg(n, 0) & arg(n, 1)
+		case OpOr:
+			vals[i] = arg(n, 0) | arg(n, 1)
+		case OpXor:
+			vals[i] = arg(n, 0) ^ arg(n, 1)
+		case OpCmpLT:
+			if arg(n, 0) < arg(n, 1) {
+				vals[i] = 1
+			}
+		case OpCmpEQ:
+			if arg(n, 0) == arg(n, 1) {
+				vals[i] = 1
+			}
+		case OpSelect:
+			if arg(n, 0) != 0 {
+				vals[i] = arg(n, 1)
+			} else {
+				vals[i] = arg(n, 2)
+			}
+		case OpLEA:
+			vals[i] = arg(n, 0) + arg(n, 1)<<n.Imm
+		case OpLoad:
+			vals[i] = env.LoadFn(arg(n, 0))
+		case OpStore:
+			env.StoreFn(arg(n, 0), arg(n, 1))
+		case OpDeq:
+			v, ok := env.DeqFn(int(n.Imm))
+			if !ok {
+				return nil, fmt.Errorf("dfg %s: deq on empty queue %d", g.Name, n.Imm)
+			}
+			vals[i] = v
+		case OpEnq:
+			env.EnqFn(int(n.Imm), arg(n, 0))
+		case OpFMA:
+			a := math.Float64frombits(arg(n, 0))
+			b := math.Float64frombits(arg(n, 1))
+			c := math.Float64frombits(arg(n, 2))
+			vals[i] = math.Float64bits(math.FMA(a, b, c))
+		default:
+			return nil, fmt.Errorf("dfg %s: unknown op %v", g.Name, n.Kind)
+		}
+	}
+	return vals, nil
+}

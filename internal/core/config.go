@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fifer/internal/cgra"
+	"fifer/internal/mem"
+)
+
+// Mode selects between the two CGRA-based systems the paper evaluates.
+type Mode int
+
+const (
+	// ModeFifer: dynamic temporal pipelining — stages time-multiplexed per
+	// PE under scheduler control (Fig. 11b).
+	ModeFifer Mode = iota
+	// ModeStatic: static spatial pipeline — each stage pinned to one PE for
+	// the whole run; no scheduler (Fig. 11a).
+	ModeStatic
+)
+
+func (m Mode) String() string {
+	if m == ModeStatic {
+		return "static"
+	}
+	return "fifer"
+}
+
+// Policy selects the reconfiguration scheduling policy (Sec. 5.2).
+type Policy int
+
+const (
+	// PolicyMostWork: on block, switch to the unblocked stage with the most
+	// input work — the paper's policy.
+	PolicyMostWork Policy = iota
+	// PolicyRoundRobin: on block, switch to the next unblocked stage in
+	// order — an ablation the paper reports works worse.
+	PolicyRoundRobin
+)
+
+func (p Policy) String() string {
+	if p == PolicyRoundRobin {
+		return "round-robin"
+	}
+	return "most-work"
+}
+
+// Config holds all architectural parameters of a CGRA-based system
+// (Table 2 plus the Fifer-specific mechanisms of Sec. 5).
+type Config struct {
+	PEs            int                 // number of processing elements (16)
+	Fabric         cgra.FabricConfig   // per-PE reconfigurable array
+	QueueMemBytes  int                 // per-PE queue SRAM (16 KB)
+	DRMsPerPE      int                 // decoupled reference machines per PE (4)
+	DRMOutstanding int                 // max in-flight accesses per DRM
+	DRMIssueWidth  int                 // accesses launched per DRM per cycle
+	Hier           mem.HierarchyConfig // cache hierarchy (Table 2)
+	BackingBytes   int                 // simulated DRAM capacity
+
+	Mode             Mode
+	SchedPolicy      Policy
+	DoubleBuffered   bool // double-buffered configuration cells (Sec. 5.1)
+	ZeroCostReconfig bool // idealized free reconfiguration (Sec. 8.3 ablation)
+	SIMDReplication  bool // replicate small datapaths to fill the fabric (Sec. 5.6)
+
+	MaxCycles uint64 // safety limit; Run fails beyond this
+}
+
+// DefaultConfig returns the paper's 16-PE Fifer system.
+func DefaultConfig() Config {
+	pes := 16
+	return Config{
+		PEs:             pes,
+		Fabric:          cgra.DefaultFabric(),
+		QueueMemBytes:   16 << 10,
+		DRMsPerPE:       4,
+		DRMOutstanding:  16,
+		DRMIssueWidth:   4,
+		Hier:            mem.DefaultPEHierarchy(pes),
+		BackingBytes:    1 << 30,
+		Mode:            ModeFifer,
+		SchedPolicy:     PolicyMostWork,
+		DoubleBuffered:  true,
+		SIMDReplication: true,
+		MaxCycles:       2_000_000_000,
+	}
+}
+
+// StaticConfig returns the baseline static-spatial-pipeline system: the same
+// hardware without the scheduler (it retains DRMs, per Sec. 7.1).
+func StaticConfig() Config {
+	c := DefaultConfig()
+	c.Mode = ModeStatic
+	return c
+}
+
+// WithQueueScale returns a copy of c with the per-PE queue memory scaled by
+// factor (Fig. 16's sweep: 0.25× to 4× of 16 KB).
+func (c Config) WithQueueScale(factor float64) Config {
+	c.QueueMemBytes = int(float64(c.QueueMemBytes) * factor)
+	return c
+}

@@ -1,0 +1,44 @@
+// Package core implements the Fifer architecture (Sec. 5): processing
+// elements whose CGRA fabrics are time-multiplexed across pipeline stages by
+// a per-PE scheduler, double-buffered rapid reconfiguration, decoupled
+// reference machines (DRMs), control values, and the multi-PE system with
+// replicated temporal pipelines. The same machinery, with the scheduler
+// disabled and one stage pinned per PE, is the paper's static-spatial-
+// pipeline baseline (Fig. 11a).
+package core
+
+// CPIStack is the per-PE cycle breakdown used in Fig. 14, extending the CPI
+// stack methodology to PEs. Every simulated cycle lands in exactly one
+// bucket, so the stack always sums to the PE's total cycles.
+type CPIStack struct {
+	Issued   uint64 // at least one datapath firing initiated
+	Stall    uint64 // fabric frozen by a coupled-load cache miss
+	Queue    uint64 // blocked on a full output or empty input queue
+	Reconfig uint64 // draining/loading/activating a configuration
+	Idle     uint64 // completely inactive waiting for other PEs
+}
+
+// Total returns the sum of all buckets.
+func (c CPIStack) Total() uint64 {
+	return c.Issued + c.Stall + c.Queue + c.Reconfig + c.Idle
+}
+
+// Add accumulates another stack into c.
+func (c *CPIStack) Add(o CPIStack) {
+	c.Issued += o.Issued
+	c.Stall += o.Stall
+	c.Queue += o.Queue
+	c.Reconfig += o.Reconfig
+	c.Idle += o.Idle
+}
+
+// Fractions returns each bucket as a fraction of the total (zero total
+// yields all zeros).
+func (c CPIStack) Fractions() (issued, stall, queue, reconfig, idle float64) {
+	t := float64(c.Total())
+	if t == 0 {
+		return
+	}
+	return float64(c.Issued) / t, float64(c.Stall) / t, float64(c.Queue) / t,
+		float64(c.Reconfig) / t, float64(c.Idle) / t
+}

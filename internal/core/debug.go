@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the live state of every PE — active stage, queue occupancies,
+// DRM state — for deadlock diagnosis.
+func (s *System) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle %d\n", s.Cycle)
+	for _, pe := range s.PEs {
+		act := "-"
+		if st := pe.ActiveStage(); st != nil {
+			act = st.Name()
+		}
+		fmt.Fprintf(&b, "pe%d active=%s reconfigUntil=%d stallUntil=%d pending=%d stack=%+v\n",
+			pe.ID, act, pe.reconfigUntil, pe.stallUntil, pe.pending, pe.Stack)
+		for _, st := range pe.stages {
+			fmt.Fprintf(&b, "  stage %s work=%d ready=%v outBlocked=%v", st.Name(), st.InputWork(), st.Ready(), st.OutputsBlocked())
+			if st.StateWork != nil {
+				fmt.Fprintf(&b, " stateWork=%d", st.StateWork())
+			}
+			fmt.Fprintln(&b)
+		}
+		for _, q := range pe.QMem.Queues() {
+			if q.Len() > 0 {
+				fmt.Fprintf(&b, "  queue %s len=%d/%d\n", q.Name(), q.Len(), q.Cap())
+			}
+		}
+		for _, d := range pe.DRMs {
+			if d.Busy() {
+				fmt.Fprintf(&b, "  drm %s mode=%v busy in=%d inflight=%d\n", d.Name(), d.Mode(), d.In().Len(), len(d.inflight))
+			}
+		}
+	}
+	return b.String()
+}

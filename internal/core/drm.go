@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+
+	"fifer/internal/mem"
+	"fifer/internal/queue"
+	"fifer/internal/stage"
+)
+
+// DRMMode selects a decoupled reference machine's behavior (Sec. 5.4).
+type DRMMode int
+
+const (
+	// DRMIdle: unconfigured; the DRM does nothing.
+	DRMIdle DRMMode = iota
+	// DRMDereference: each input token is an address whose in-memory value
+	// is placed in the output queue.
+	DRMDereference
+	// DRMScan: each input token *pair* is a [start, end) byte-address range
+	// whose words are sequentially fetched and enqueued.
+	DRMScan
+	// DRMStride: each input token pair is (base, count); the DRM fetches
+	// count words spaced by the configured stride — the arrays-of-structs
+	// traversal mode the paper notes "could be easily added" (Sec. 5.4).
+	DRMStride
+)
+
+func (m DRMMode) String() string {
+	switch m {
+	case DRMDereference:
+		return "dereference"
+	case DRMScan:
+		return "scan"
+	case DRMStride:
+		return "stride"
+	}
+	return "idle"
+}
+
+// DRM is a decoupled reference machine: a small FSM that performs memory
+// accesses on the PE's behalf so stages never stall on the misses those
+// accesses incur. Accesses may complete out of order in the memory system
+// but results are delivered to the output queue in order. DRMs are
+// configured once, at initialization, and keep working regardless of which
+// stage is currently scheduled on the PE (Sec. 5.4).
+//
+// Control tokens pass through transparently, in order with data, so
+// iteration boundaries survive decoupling (Sec. 5.5).
+type DRM struct {
+	name  string
+	mode  DRMMode
+	in    *queue.Queue
+	out   stage.OutPort
+	port  *mem.Port
+	max   int // max in-flight accesses
+	width int // accesses issued (and completions delivered) per cycle
+
+	// boundary, when set on a scanning DRM, emits a control token after
+	// each completed range, delineating data-set boundaries downstream
+	// (Sec. 5.5); it fires even for empty ranges so streams stay aligned.
+	boundary bool
+
+	inflight   []drmEntry
+	lastReady  uint64
+	scanCur    mem.Addr // active scan cursor; scanEnd==0 means no active range
+	scanEnd    mem.Addr
+	stride     mem.Addr // byte stride for DRMStride mode
+	strideLeft int      // remaining fetches in the active strided burst
+
+	// Statistics.
+	Accesses uint64 // memory accesses issued
+	Emitted  uint64 // tokens delivered to the output queue
+	OutFull  uint64 // cycles a completed token waited on a full output
+}
+
+type drmEntry struct {
+	tok   queue.Token
+	ready uint64
+}
+
+// NewDRM creates an unconfigured DRM. The input queue is allocated by the
+// caller. issueWidth is the accesses the DRM can launch (and results it can
+// deliver) per cycle — graph edge-list accesses are launched in parallel
+// (Sec. 5.6).
+func NewDRM(name string, in *queue.Queue, port *mem.Port, maxOutstanding, issueWidth int) *DRM {
+	if maxOutstanding < 1 {
+		maxOutstanding = 1
+	}
+	if issueWidth < 1 {
+		issueWidth = 1
+	}
+	return &DRM{name: name, in: in, port: port, max: maxOutstanding, width: issueWidth}
+}
+
+// Configure sets the DRM's mode and output; it is called once at program
+// initialization.
+func (d *DRM) Configure(mode DRMMode, out stage.OutPort) {
+	d.mode = mode
+	d.out = out
+}
+
+// SetBoundary makes a scanning DRM emit a control token after each range.
+func (d *DRM) SetBoundary(on bool) { d.boundary = on }
+
+// SetStride sets the byte step between fetches in DRMStride mode.
+func (d *DRM) SetStride(bytes int) { d.stride = mem.Addr(bytes) }
+
+// Name returns the DRM's diagnostic name.
+func (d *DRM) Name() string { return d.name }
+
+// Mode returns the configured mode.
+func (d *DRM) Mode() DRMMode { return d.mode }
+
+// In returns the DRM's address input queue (stages push into it).
+func (d *DRM) In() *queue.Queue { return d.in }
+
+// InPort returns the input queue wrapped as a stage output port.
+func (d *DRM) InPort() stage.OutPort { return stage.LocalPort{Q: d.in} }
+
+// Busy reports whether the DRM has pending work: buffered addresses,
+// in-flight accesses, or an active scan range.
+func (d *DRM) Busy() bool {
+	return d.mode != DRMIdle && (!d.in.Empty() || len(d.inflight) > 0 || d.scanEnd != 0 || d.strideLeft > 0)
+}
+
+// Tick advances the DRM by one cycle: complete up to issue-width ready
+// accesses if the output has space, then issue up to issue-width new ones.
+func (d *DRM) Tick(now uint64) {
+	if d.mode == DRMIdle {
+		return
+	}
+	// Completion (in order).
+	for k := 0; k < d.width && len(d.inflight) > 0 && d.inflight[0].ready <= now; k++ {
+		if !d.out.Push(d.inflight[0].tok) {
+			d.OutFull++
+			break
+		}
+		copy(d.inflight, d.inflight[1:])
+		d.inflight = d.inflight[:len(d.inflight)-1]
+		d.Emitted++
+	}
+	for k := 0; k < d.width && len(d.inflight) < d.max; k++ {
+		if !d.issue(now) {
+			break
+		}
+	}
+}
+
+// issue launches one access (or consumes one control token); it reports
+// whether it made progress.
+func (d *DRM) issue(now uint64) bool {
+	switch d.mode {
+	case DRMDereference:
+		t, ok := d.in.Peek()
+		if !ok {
+			return false
+		}
+		d.in.Deq()
+		if t.Ctrl {
+			d.push(t, now)
+			return true
+		}
+		v, ready := d.port.Load(now, mem.Addr(t.Value))
+		d.Accesses++
+		d.push(queue.Data(v), ready)
+		return true
+	case DRMScan:
+		if d.scanEnd == 0 {
+			// Need a (start, end) pair, or a pass-through control token.
+			t, ok := d.in.Peek()
+			if !ok {
+				return false
+			}
+			if t.Ctrl {
+				d.in.Deq()
+				d.push(t, now)
+				return true
+			}
+			if d.in.Len() < 2 {
+				return false
+			}
+			s, _ := d.in.Deq()
+			e, _ := d.in.Deq()
+			if e.Ctrl {
+				panic(fmt.Sprintf("drm %s: control token inside scan range pair", d.name))
+			}
+			if s.Value >= e.Value {
+				if d.boundary {
+					d.push(queue.Ctrl(0), now)
+				}
+				return true // empty range
+			}
+			d.scanCur, d.scanEnd = mem.Addr(s.Value), mem.Addr(e.Value)
+		}
+		v, ready := d.port.Load(now, d.scanCur)
+		d.Accesses++
+		d.push(queue.Data(v), ready)
+		d.scanCur += mem.WordBytes
+		if d.scanCur >= d.scanEnd {
+			d.scanCur, d.scanEnd = 0, 0
+			if d.boundary {
+				d.push(queue.Ctrl(0), now)
+			}
+		}
+		return true
+	case DRMStride:
+		if d.strideLeft == 0 {
+			t, ok := d.in.Peek()
+			if !ok {
+				return false
+			}
+			if t.Ctrl {
+				d.in.Deq()
+				d.push(t, now)
+				return true
+			}
+			if d.in.Len() < 2 {
+				return false
+			}
+			base, _ := d.in.Deq()
+			count, _ := d.in.Deq()
+			if count.Value == 0 {
+				if d.boundary {
+					d.push(queue.Ctrl(0), now)
+				}
+				return true
+			}
+			d.scanCur = mem.Addr(base.Value)
+			d.strideLeft = int(count.Value)
+		}
+		v, ready := d.port.Load(now, d.scanCur)
+		d.Accesses++
+		d.push(queue.Data(v), ready)
+		d.scanCur += d.stride
+		d.strideLeft--
+		if d.strideLeft == 0 {
+			d.scanCur = 0
+			if d.boundary {
+				d.push(queue.Ctrl(0), now)
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (d *DRM) push(t queue.Token, ready uint64) {
+	if ready < d.lastReady {
+		ready = d.lastReady // in-order delivery
+	}
+	d.lastReady = ready
+	d.inflight = append(d.inflight, drmEntry{tok: t, ready: ready})
+}

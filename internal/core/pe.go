@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+
+	"fifer/internal/mem"
+	"fifer/internal/queue"
+	"fifer/internal/stage"
+)
+
+// PE is one processing element: a CGRA fabric with its private L1 cache,
+// queue memory, DRMs, and — in Fifer mode — a scheduler that time-
+// multiplexes resident stage configurations onto the fabric (Fig. 7).
+type PE struct {
+	ID   int
+	sys  *System
+	cfg  *Config
+	Mem  *mem.Port
+	QMem *queue.Mem
+	DRMs []*DRM
+
+	stages []*stage.Stage
+	active int // index into stages; -1 before the first activation
+
+	// Reconfiguration state.
+	reconfigUntil uint64 // busy reconfiguring until this cycle
+	pending       int    // stage to activate when reconfiguration completes
+	stallUntil    uint64 // fabric frozen by a coupled-load miss until this cycle
+
+	// Scheduler hysteresis: a stage that was activated and then blocked
+	// without firing once is kept off the candidate list for a short
+	// cooldown. Without it, two mutually blocked high-occupancy stages can
+	// ping-pong forever while a low-occupancy stage that would release the
+	// back-pressure (e.g. a credit-starved consumer) never gets the fabric.
+	cooldownUntil []uint64
+	firedSinceAct bool
+
+	// Statistics.
+	Stack        CPIStack
+	SumResidence uint64 // total cycles between consecutive activations
+	Activations  uint64
+	SumReconfig  uint64 // total cycles spent in reconfiguration periods
+	Reconfigs    uint64
+	lastActivate uint64
+	ctx          stage.Ctx
+}
+
+// schedCooldown is the exclusion window after a fruitless activation.
+const schedCooldown = 64
+
+func newPE(id int, sys *System) *PE {
+	cfg := &sys.Cfg
+	pe := &PE{
+		ID:      id,
+		sys:     sys,
+		cfg:     cfg,
+		Mem:     sys.Hier.Port(id, sys.Backing),
+		QMem:    queue.NewMem(fmt.Sprintf("pe%d", id), cfg.QueueMemBytes),
+		active:  -1,
+		pending: -1,
+	}
+	for i := 0; i < cfg.DRMsPerPE; i++ {
+		// DRM address queues are small fixed buffers separate from the
+		// 16 KB virtualized queue SRAM (Table 1 lists DRMs separately).
+		in := queue.NewQueue(fmt.Sprintf("pe%d.drm%d.in", id, i), 16)
+		pe.DRMs = append(pe.DRMs, NewDRM(fmt.Sprintf("pe%d.drm%d", id, i), in, pe.Mem, cfg.DRMOutstanding, cfg.DRMIssueWidth))
+	}
+	return pe
+}
+
+// AllocQueue carves a queue out of this PE's queue memory.
+func (p *PE) AllocQueue(name string, capTokens int) *queue.Queue {
+	return p.QMem.MustAlloc(fmt.Sprintf("pe%d.%s", p.ID, name), capTokens)
+}
+
+// DRM returns the i-th decoupled reference machine.
+func (p *PE) DRM(i int) *DRM { return p.DRMs[i] }
+
+// AddStage makes a stage resident on this PE. In static mode, at most one
+// stage may be resident (the hardware has a single configuration and no
+// scheduler).
+func (p *PE) AddStage(s *stage.Stage) {
+	if p.cfg.Mode == ModeStatic && len(p.stages) >= 1 {
+		panic(fmt.Sprintf("pe%d: static pipeline allows one stage per PE; %q would be the second",
+			p.ID, s.Name()))
+	}
+	if s.Mapping != nil && s.Mapping.ConfigAddr == 0 {
+		// Configurations are stored in cacheable memory (Sec. 5.1); place
+		// the encoded bitstream now so reconfiguration fetches have real
+		// addresses and real contents.
+		bs := s.Mapping.Encode()
+		base := p.sys.Backing.Alloc(len(bs))
+		s.Mapping.ConfigAddr = uint64(base)
+		for i := 0; i+mem.WordBytes <= len(bs); i += mem.WordBytes {
+			var w uint64
+			for b := 0; b < mem.WordBytes; b++ {
+				w |= uint64(bs[i+b]) << (8 * b)
+			}
+			p.sys.Backing.Store(base+mem.Addr(i), w)
+		}
+	}
+	p.stages = append(p.stages, s)
+	p.cooldownUntil = append(p.cooldownUntil, 0)
+}
+
+// Stages returns the resident stages.
+func (p *PE) Stages() []*stage.Stage { return p.stages }
+
+// ActiveStage returns the currently configured stage, or nil.
+func (p *PE) ActiveStage() *stage.Stage {
+	if p.active < 0 || p.active >= len(p.stages) {
+		return nil
+	}
+	return p.stages[p.active]
+}
+
+// Busy reports whether the PE has non-quiescent state: an unfinished
+// reconfiguration, a frozen fabric, a busy DRM, or buffered tokens.
+func (p *PE) Busy(now uint64) bool {
+	if now < p.reconfigUntil || now < p.stallUntil || p.pending >= 0 {
+		return true
+	}
+	for _, d := range p.DRMs {
+		if d.Busy() {
+			return true
+		}
+	}
+	for _, s := range p.stages {
+		if s.StateWork != nil && s.StateWork() > 0 {
+			return true
+		}
+	}
+	return p.QMem.Buffered() > 0
+}
+
+// Tick advances the PE by one cycle. Exactly one CPIStack bucket is
+// incremented per call.
+func (p *PE) Tick(now uint64) {
+	for _, d := range p.DRMs {
+		d.Tick(now)
+	}
+	if now < p.reconfigUntil {
+		p.Stack.Reconfig++
+		return
+	}
+	if p.pending >= 0 {
+		p.activate(now, p.pending)
+		p.pending = -1
+	}
+	if now < p.stallUntil {
+		p.Stack.Stall++
+		return
+	}
+	if p.active < 0 {
+		// Nothing ever activated: pick the first ready stage (free initial
+		// configuration at program start, as in the paper's setup phase).
+		if idx := p.pick(now, -1); idx >= 0 {
+			p.activate(now, idx)
+		} else {
+			p.accountBlocked(stage.NoInput)
+			return
+		}
+	}
+	s := p.stages[p.active]
+	fired := 0
+	blocked := stage.Sleep
+	p.ctx = stage.Ctx{Now: now, In: s.In, Out: s.Out, Mem: p.Mem}
+	width := s.Width()
+	for i := 0; i < width; i++ {
+		st := s.Kernel.TryFire(&p.ctx)
+		if st != stage.Fired {
+			if i == 0 {
+				blocked = st
+			}
+			break
+		}
+		fired++
+		s.Firings++
+		if p.ctx.FiredCtrl {
+			break // control values are handled serially (Sec. 5.6)
+		}
+	}
+	if fired > 0 {
+		p.firedSinceAct = true
+		p.Stack.Issued++
+		if p.ctx.ExtraStall > 0 {
+			p.stallUntil = now + 1 + p.ctx.ExtraStall
+		}
+		return
+	}
+	// Blocked. In Fifer mode, ask the scheduler for another stage.
+	if p.cfg.Mode == ModeFifer && len(p.stages) > 1 {
+		if !p.firedSinceAct {
+			// This configuration never fired: it looked ready but is
+			// back-pressured in a way occupancies cannot see. Cool it down
+			// so the scheduler explores other stages instead of ping-
+			// ponging between mutually blocked ones.
+			p.cooldownUntil[p.active] = now + schedCooldown
+		}
+		if idx := p.pick(now, p.active); idx >= 0 {
+			p.beginReconfig(now, idx)
+			p.Stack.Reconfig++
+			return
+		}
+	}
+	p.accountBlocked(blocked)
+}
+
+// pick implements the scheduling policy over stages other than `except`,
+// returning -1 when no stage is ready.
+func (p *PE) pick(now uint64, except int) int {
+	best, bestWork := -1, 0
+	for i, s := range p.stages {
+		if i == except || now < p.cooldownUntil[i] || !s.Ready() {
+			continue
+		}
+		w := s.InputWork()
+		switch p.cfg.SchedPolicy {
+		case PolicyMostWork:
+			if w > bestWork {
+				best, bestWork = i, w
+			}
+		case PolicyRoundRobin:
+			// First ready stage after `except`, cyclically.
+			if best == -1 {
+				best, bestWork = i, w
+			}
+			if except >= 0 && i > except {
+				return i
+			}
+		}
+	}
+	return best
+}
+
+// beginReconfig starts the three-step reconfiguration process of Sec. 5.1:
+// drain in-flight operations, load the new configuration from the L1 into
+// the unused configuration slot (in parallel when double-buffered), then
+// activate it (2-cycle dead time).
+func (p *PE) beginReconfig(now uint64, next int) {
+	var period uint64
+	if !p.cfg.ZeroCostReconfig {
+		drain := uint64(p.stages[p.active].Depth())
+		load := p.configLoadCycles(now, p.stages[next])
+		act := p.cfg.Fabric.ActivationCycles
+		if p.cfg.DoubleBuffered {
+			period = max64(drain, load) + act
+		} else {
+			period = drain + load + act
+		}
+	}
+	outgoing := p.stages[p.active]
+	_ = outgoing // residence recorded at activation of `next`
+	p.reconfigUntil = now + period
+	p.pending = next
+	p.SumReconfig += period
+	p.Reconfigs++
+}
+
+// configLoadCycles models streaming the next stage's configuration data from
+// the L1 cache into the chained configuration cells, 64 bytes per cycle
+// (Sec. 5.1). Configuration lines are cacheable, so the first switch to a
+// stage may miss to the LLC while steady-state switches hit in the L1.
+func (p *PE) configLoadCycles(now uint64, s *stage.Stage) uint64 {
+	if s.Mapping == nil {
+		return 10 // fixed cost for unmapped (test) stages
+	}
+	base := mem.Addr(s.Mapping.ConfigAddr)
+	nlines := (s.Mapping.ConfigBytes + mem.LineBytes - 1) / mem.LineBytes
+	var last uint64 = now
+	for i := 0; i < nlines; i++ {
+		ready := p.Mem.LoadTiming(now+uint64(i), base+mem.Addr(i*mem.LineBytes))
+		if ready > last {
+			last = ready
+		}
+	}
+	return last - now
+}
+
+func (p *PE) activate(now uint64, idx int) {
+	if p.Activations > 0 {
+		p.SumResidence += now - p.lastActivate
+	}
+	p.lastActivate = now
+	p.Activations++
+	p.active = idx
+	p.firedSinceAct = false
+}
+
+// accountBlocked attributes a non-firing cycle to the queue or idle bucket.
+// A PE is "idle" only when completely inactive — no resident stage has any
+// input work and no DRM is busy — i.e., it is waiting on other PEs. Any
+// other blockage is a full/empty-queue stall.
+func (p *PE) accountBlocked(st stage.Status) {
+	if st == stage.NoOutput {
+		p.Stack.Queue++
+		return
+	}
+	for _, s := range p.stages {
+		if s.InputWork() > 0 {
+			p.Stack.Queue++
+			return
+		}
+	}
+	for _, d := range p.DRMs {
+		if d.Busy() {
+			p.Stack.Queue++
+			return
+		}
+	}
+	p.Stack.Idle++
+}
+
+// MeanResidence returns the average residence time of a configuration on
+// this PE, in cycles (Table 5).
+func (p *PE) MeanResidence() float64 {
+	n := p.Activations
+	if n <= 1 {
+		return 0
+	}
+	return float64(p.SumResidence) / float64(n-1)
+}
+
+// MeanReconfigPeriod returns the average reconfiguration period (Table 5).
+func (p *PE) MeanReconfigPeriod() float64 {
+	if p.Reconfigs == 0 {
+		return 0
+	}
+	return float64(p.SumReconfig) / float64(p.Reconfigs)
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+
+	"fifer/internal/mem"
+	"fifer/internal/queue"
+)
+
+// System is a complete CGRA-based machine: PEs, the shared cache hierarchy,
+// the functional backing store, and the control core's run loop (Fig. 4 /
+// Fig. 7). Whether it behaves as Fifer or as the static-pipeline baseline is
+// set by Config.Mode.
+type System struct {
+	Cfg     Config
+	Backing *mem.Backing
+	Hier    *mem.Hierarchy
+	PEs     []*PE
+	Cycle   uint64
+
+	arbiters []*queue.Arbiter
+}
+
+// NewSystem builds a system from cfg.
+func NewSystem(cfg Config) *System {
+	if cfg.PEs <= 0 {
+		panic("core: config needs at least one PE")
+	}
+	if cfg.Hier.Clients != cfg.PEs {
+		cfg.Hier.Clients = cfg.PEs
+	}
+	s := &System{
+		Cfg:     cfg,
+		Backing: mem.NewBacking(cfg.BackingBytes),
+		Hier:    mem.NewHierarchy(cfg.Hier),
+	}
+	for i := 0; i < cfg.PEs; i++ {
+		s.PEs = append(s.PEs, newPE(i, s))
+	}
+	return s
+}
+
+// PE returns processing element i.
+func (s *System) PE(i int) *PE { return s.PEs[i] }
+
+// InterPEQueue allocates a credited inter-PE queue: the buffer lives in the
+// consumer PE's queue memory; producers get credit ports (Sec. 5.6).
+func (s *System) InterPEQueue(consumer int, name string, capTokens, producers int) *queue.Arbiter {
+	q := s.PEs[consumer].AllocQueue(name, capTokens)
+	a := queue.NewArbiter(q, producers)
+	s.arbiters = append(s.arbiters, a)
+	return a
+}
+
+// Arbiters returns all inter-PE queue arbiters (for invariant checks).
+func (s *System) Arbiters() []*queue.Arbiter { return s.arbiters }
+
+// Program is the control-core view of an application: it set up the
+// pipelines before Run and is consulted at quiescence points. Returning
+// true means new work was injected (e.g. the next BFS round); false means
+// the program is complete.
+type Program interface {
+	Quiesced(sys *System) bool
+}
+
+// ProgramFunc adapts a function to the Program interface.
+type ProgramFunc func(sys *System) bool
+
+// Quiesced implements Program.
+func (f ProgramFunc) Quiesced(sys *System) bool { return f(sys) }
+
+// Result summarizes a run.
+type Result struct {
+	Cycles        uint64
+	Stacks        []CPIStack // per PE
+	Total         CPIStack   // summed over PEs
+	Firings       uint64     // total datapath firings
+	Rounds        uint64     // times the program injected new work
+	MeanResidence float64
+	MeanReconfig  float64
+	Reconfigs     uint64
+}
+
+// Run drives the system until the program reports completion. It returns an
+// error if Cfg.MaxCycles elapse first (deadlock or runaway program).
+func (s *System) Run(prog Program) (Result, error) {
+	var res Result
+	for {
+		quiet := true
+		for _, pe := range s.PEs {
+			pe.Tick(s.Cycle)
+		}
+		if s.Cycle%64 == 0 {
+			for _, pe := range s.PEs {
+				pe.QMem.Sample()
+			}
+		}
+		for _, pe := range s.PEs {
+			if pe.Busy(s.Cycle) {
+				quiet = false
+				break
+			}
+		}
+		s.Cycle++
+		if quiet {
+			if !prog.Quiesced(s) {
+				break
+			}
+			res.Rounds++
+		}
+		if s.Cycle >= s.Cfg.MaxCycles {
+			return res, fmt.Errorf("core: exceeded MaxCycles=%d (deadlock or runaway program)", s.Cfg.MaxCycles)
+		}
+	}
+	res.Cycles = s.Cycle
+	var sumRes, sumRec, nAct, nRec uint64
+	for _, pe := range s.PEs {
+		res.Stacks = append(res.Stacks, pe.Stack)
+		res.Total.Add(pe.Stack)
+		for _, st := range pe.stages {
+			res.Firings += st.Firings
+		}
+		sumRes += pe.SumResidence
+		sumRec += pe.SumReconfig
+		if pe.Activations > 1 {
+			nAct += pe.Activations - 1
+		}
+		nRec += pe.Reconfigs
+	}
+	if nAct > 0 {
+		res.MeanResidence = float64(sumRes) / float64(nAct)
+	}
+	if nRec > 0 {
+		res.MeanReconfig = float64(sumRec) / float64(nRec)
+	}
+	res.Reconfigs = nRec
+	return res, nil
+}
+
+// MeanQueueOccupancy returns the average sampled occupancy (tokens) across
+// all queue-memory-resident queues — the decoupling actually in use, which
+// Sec. 8.3 relates to residence times.
+func (s *System) MeanQueueOccupancy() float64 {
+	sum, n := 0.0, 0
+	for _, pe := range s.PEs {
+		for _, q := range pe.QMem.Queues() {
+			sum += q.MeanOccupancy()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// CheckInvariants verifies conservation properties after a run; it is used
+// by integration tests. It returns an error describing the first violation.
+func (s *System) CheckInvariants() error {
+	for _, pe := range s.PEs {
+		total := pe.Stack.Total()
+		if total != s.Cycle {
+			return fmt.Errorf("pe%d: CPI stack sums to %d, want %d cycles", pe.ID, total, s.Cycle)
+		}
+		if got := pe.QMem.Buffered(); got != 0 {
+			return fmt.Errorf("pe%d: %d tokens still buffered after completion", pe.ID, got)
+		}
+		for _, d := range pe.DRMs {
+			if d.Busy() {
+				return fmt.Errorf("%s: still busy after completion", d.Name())
+			}
+		}
+	}
+	for _, a := range s.arbiters {
+		if got, want := a.TotalCredits(), a.Queue().Cap(); got != want {
+			return fmt.Errorf("arbiter %q: %d credits outstanding, want %d", a.Queue().Name(), got, want)
+		}
+	}
+	return nil
+}

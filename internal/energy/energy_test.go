@@ -1,0 +1,64 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable1Total(t *testing.T) {
+	// Table 1's bottom line: 1.34 mm² per PE.
+	if math.Abs(AreaPEMM2-1.34) > 0.01 {
+		t.Fatalf("PE area = %g, want 1.34 (Table 1)", AreaPEMM2)
+	}
+	// A PE is 4.6% of an OOO core's area (Sec. 6).
+	ratio := AreaPEMM2 / AreaOOOCoreMM2
+	if ratio < 0.04 || ratio > 0.05 {
+		t.Fatalf("PE/core area ratio = %.3f, want ~0.046", ratio)
+	}
+}
+
+func TestModelComposition(t *testing.T) {
+	c := Counts{
+		Cycles: 1000, PEs: 16,
+		FabricOps: 100, FMAOps: 10, QueueTokens: 50, ConfigBytes: 360,
+		DRMAccesses: 20, L1Accesses: 200, LLCAccesses: 30, MemLines: 5,
+		LLCBytes: 8 << 20,
+	}
+	b := Model(c)
+	if b.Memory != 5*EnergyMemLine {
+		t.Fatal("memory energy wrong")
+	}
+	wantCaches := 200*EnergyL1Access + 30*EnergyLLCAccess
+	if b.Caches != wantCaches {
+		t.Fatal("cache energy wrong")
+	}
+	wantCompute := 100*EnergyFabricOp + 10*EnergyFMAOp + 50*EnergyQueueToken +
+		360*EnergyConfigByte + 20*EnergyDRMAccess
+	if b.Compute != wantCompute {
+		t.Fatal("compute energy wrong")
+	}
+	if b.Leakage <= 0 || b.Total() != b.Memory+b.Caches+b.Compute+b.Leakage {
+		t.Fatal("leakage/total wrong")
+	}
+}
+
+func TestOOOInstrEnergyDominatesFabricOp(t *testing.T) {
+	// The premise of Sec. 1: per-operation energy on an OOO core is orders
+	// of magnitude above a fabric ALU op.
+	if EnergyOOOInstr < 50*EnergyFabricOp {
+		t.Fatal("OOO per-instruction energy implausibly low vs fabric op")
+	}
+}
+
+func TestLeakageScalesWithAreaAndTime(t *testing.T) {
+	base := Model(Counts{Cycles: 1000, PEs: 16, LLCBytes: 8 << 20})
+	moreTime := Model(Counts{Cycles: 2000, PEs: 16, LLCBytes: 8 << 20})
+	corearea := Model(Counts{Cycles: 1000, Cores: 4, LLCBytes: 8 << 20})
+	if moreTime.Leakage != 2*base.Leakage {
+		t.Fatal("leakage not linear in cycles")
+	}
+	// 4 OOO cores leak more than 16 PEs (their area is ~5.4x larger).
+	if corearea.Leakage <= base.Leakage {
+		t.Fatal("OOO cores should leak more than 16 PEs")
+	}
+}

@@ -1,0 +1,117 @@
+// Package graph provides the graph substrate used by the BFS, CC,
+// PageRank-Delta, and Radii benchmarks: a compressed-sparse-row (CSR)
+// representation (Fig. 1c), synthetic generators shaped after the paper's
+// Table 3 inputs, and reference implementations of all four algorithms.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an unweighted directed graph in CSR form. For the paper's
+// undirected inputs every edge appears in both directions.
+type Graph struct {
+	Name      string
+	Offsets   []uint64 // length NumVertices+1
+	Neighbors []uint64 // length NumEdges
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.Offsets) - 1 }
+
+// NumEdges returns the directed edge count.
+func (g *Graph) NumEdges() int { return len(g.Neighbors) }
+
+// AvgDegree returns the mean out-degree.
+func (g *Graph) AvgDegree() float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	return float64(g.NumEdges()) / float64(n)
+}
+
+// Degree returns vertex v's out-degree.
+func (g *Graph) Degree(v int) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Neigh returns the neighbor slice of vertex v.
+func (g *Graph) Neigh(v int) []uint64 {
+	return g.Neighbors[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// MaxDegree returns the largest out-degree.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(v); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Validate checks CSR structural invariants.
+func (g *Graph) Validate() error {
+	if len(g.Offsets) == 0 {
+		return fmt.Errorf("graph %s: missing offsets", g.Name)
+	}
+	if g.Offsets[0] != 0 {
+		return fmt.Errorf("graph %s: offsets[0] = %d, want 0", g.Name, g.Offsets[0])
+	}
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		if g.Offsets[v+1] < g.Offsets[v] {
+			return fmt.Errorf("graph %s: offsets decrease at vertex %d", g.Name, v)
+		}
+	}
+	if g.Offsets[n] != uint64(len(g.Neighbors)) {
+		return fmt.Errorf("graph %s: offsets[n]=%d, want %d", g.Name, g.Offsets[n], len(g.Neighbors))
+	}
+	for i, u := range g.Neighbors {
+		if u >= uint64(n) {
+			return fmt.Errorf("graph %s: neighbor %d at %d out of range", g.Name, u, i)
+		}
+	}
+	return nil
+}
+
+// FromEdges builds a CSR graph from an edge list, deduplicating and sorting
+// adjacency lists, dropping self-loops, and (when undirected) adding both
+// directions.
+func FromEdges(name string, n int, edges [][2]int, undirected bool) *Graph {
+	type pair struct{ u, v int }
+	seen := make(map[pair]struct{}, len(edges)*2)
+	adj := make([][]uint64, n)
+	add := func(u, v int) {
+		if u == v || u < 0 || v < 0 || u >= n || v >= n {
+			return
+		}
+		p := pair{u, v}
+		if _, ok := seen[p]; ok {
+			return
+		}
+		seen[p] = struct{}{}
+		adj[u] = append(adj[u], uint64(v))
+	}
+	for _, e := range edges {
+		add(e[0], e[1])
+		if undirected {
+			add(e[1], e[0])
+		}
+	}
+	g := &Graph{Name: name, Offsets: make([]uint64, n+1)}
+	total := 0
+	for _, a := range adj {
+		total += len(a)
+	}
+	g.Neighbors = make([]uint64, 0, total)
+	for v := 0; v < n; v++ {
+		sort.Slice(adj[v], func(i, j int) bool { return adj[v][i] < adj[v][j] })
+		g.Neighbors = append(g.Neighbors, adj[v]...)
+		g.Offsets[v+1] = uint64(len(g.Neighbors))
+	}
+	return g
+}

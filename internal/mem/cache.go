@@ -1,0 +1,158 @@
+package mem
+
+import "fmt"
+
+// Level is a timing-only set-associative cache with LRU replacement and a
+// write-back, write-allocate policy. It tracks tags, not data (data lives in
+// the Backing store). Levels are composed into a hierarchy by pointing each
+// level's parent at the next-lower level; the lowest level points at a *HBM.
+type Level struct {
+	name    string
+	sets    int
+	ways    int
+	latency uint64 // access (hit) latency in cycles
+	parent  lower  // where misses go
+
+	tags  [][]uint64 // per-set tag stacks, index 0 = MRU; tag is the line address
+	dirty [][]bool
+
+	// Statistics.
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// lower is anything a cache level can miss into.
+type lower interface {
+	// access returns the cycle at which the requested line is available,
+	// given that the request departs this level at cycle `now`.
+	access(now uint64, line Addr, write bool) (ready uint64)
+	// invalidate removes the line if present (used when testing flush paths).
+	invalidate(line Addr)
+}
+
+// NewLevel creates a cache level. sizeBytes must be a multiple of
+// ways*LineBytes.
+func NewLevel(name string, sizeBytes, ways int, latency uint64, parent lower) *Level {
+	lines := sizeBytes / LineBytes
+	if lines == 0 || lines%ways != 0 {
+		panic(fmt.Sprintf("cache %q: size %d B incompatible with %d ways", name, sizeBytes, ways))
+	}
+	sets := lines / ways
+	l := &Level{name: name, sets: sets, ways: ways, latency: latency, parent: parent}
+	l.tags = make([][]uint64, sets)
+	l.dirty = make([][]bool, sets)
+	for i := range l.tags {
+		l.tags[i] = make([]uint64, 0, ways)
+		l.dirty[i] = make([]bool, 0, ways)
+	}
+	return l
+}
+
+// Name returns the level's diagnostic name.
+func (l *Level) Name() string { return l.name }
+
+// Latency returns the hit latency in cycles.
+func (l *Level) Latency() uint64 { return l.latency }
+
+// SizeBytes returns the cache capacity.
+func (l *Level) SizeBytes() int { return l.sets * l.ways * LineBytes }
+
+func (l *Level) setOf(line Addr) int {
+	return int(uint64(line) / LineBytes % uint64(l.sets))
+}
+
+// lookup probes the set for the line; on hit it promotes the line to MRU.
+func (l *Level) lookup(line Addr, write bool) bool {
+	s := l.setOf(line)
+	tags, dirty := l.tags[s], l.dirty[s]
+	for i, t := range tags {
+		if t == uint64(line) {
+			d := dirty[i] || write
+			copy(tags[1:i+1], tags[:i])
+			copy(dirty[1:i+1], dirty[:i])
+			tags[0], dirty[0] = uint64(line), d
+			return true
+		}
+	}
+	return false
+}
+
+// fill inserts the line at MRU, evicting LRU if the set is full.
+func (l *Level) fill(line Addr, write bool) {
+	s := l.setOf(line)
+	tags, dirty := l.tags[s], l.dirty[s]
+	if len(tags) == l.ways {
+		if dirty[len(dirty)-1] {
+			l.Writebacks++
+			// Writeback traffic occupies memory bandwidth lazily: we charge
+			// it on the parent as a non-blocking write at the current time.
+			// (The requester does not wait for it.)
+		}
+		tags = tags[:len(tags)-1]
+		dirty = dirty[:len(dirty)-1]
+	}
+	tags = append(tags, 0)
+	dirty = append(dirty, false)
+	copy(tags[1:], tags)
+	copy(dirty[1:], dirty)
+	tags[0], dirty[0] = uint64(line), write
+	l.tags[s], l.dirty[s] = tags, dirty
+}
+
+// access implements the lower interface so levels can stack.
+func (l *Level) access(now uint64, line Addr, write bool) uint64 {
+	l.Accesses++
+	if l.lookup(line, write) {
+		return now + l.latency
+	}
+	l.Misses++
+	ready := l.parent.access(now+l.latency, line, write)
+	l.fill(line, write)
+	return ready
+}
+
+// Access performs a load or store of the line containing addr that departs
+// the requester at cycle now, returning the cycle at which the data is
+// available. Timing only; use the Backing store for values.
+func (l *Level) Access(now uint64, addr Addr, write bool) uint64 {
+	return l.access(now, addr.Line(), write)
+}
+
+// Contains reports whether the line holding addr is present (no LRU update).
+func (l *Level) Contains(addr Addr) bool {
+	line := addr.Line()
+	for _, t := range l.tags[l.setOf(line)] {
+		if t == uint64(line) {
+			return true
+		}
+	}
+	return false
+}
+
+// invalidate removes the line from this level and every level below it.
+func (l *Level) invalidate(line Addr) {
+	s := l.setOf(line)
+	tags, dirty := l.tags[s], l.dirty[s]
+	for i, t := range tags {
+		if t == uint64(line) {
+			l.tags[s] = append(tags[:i], tags[i+1:]...)
+			l.dirty[s] = append(dirty[:i], dirty[i+1:]...)
+			break
+		}
+	}
+	if l.parent != nil {
+		l.parent.invalidate(line)
+	}
+}
+
+// Invalidate removes the line containing addr from this level and below.
+func (l *Level) Invalidate(addr Addr) { l.invalidate(addr.Line()) }
+
+// HitRate returns the fraction of accesses that hit at this level.
+func (l *Level) HitRate() float64 {
+	if l.Accesses == 0 {
+		return 0
+	}
+	return 1 - float64(l.Misses)/float64(l.Accesses)
+}

@@ -1,0 +1,120 @@
+package queue
+
+import "fmt"
+
+// CreditPort is the producer-side endpoint of an inter-PE queue with
+// credit-based flow control (Sec. 5.6). Each destination queue divides its
+// credits (free slots) evenly across its producers; a producer stalls when it
+// runs out of credits. Credits return to the producer when the consumer
+// dequeues the corresponding tokens.
+//
+// The model is conservative and simple: each port starts with cap/producers
+// credits; Send consumes one credit and enqueues directly into the
+// destination queue (link latency is folded into pipeline depth); the
+// consumer's dequeues replenish credits round-robin across ports via the
+// Arbiter.
+type CreditPort struct {
+	arb     *Arbiter
+	index   int
+	credits int
+
+	// Sent counts tokens successfully sent through this port.
+	Sent uint64
+	// Stalls counts send attempts rejected for lack of credits.
+	Stalls uint64
+}
+
+// Credits returns the port's current credit count.
+func (p *CreditPort) Credits() int { return p.credits }
+
+// CanSend reports whether the port holds at least one credit.
+func (p *CreditPort) CanSend() bool { return p.credits > 0 }
+
+// Send enqueues t into the destination queue, consuming one credit.
+// It returns false without side effects when no credits are available.
+func (p *CreditPort) Send(t Token) bool {
+	if p.credits == 0 {
+		p.Stalls++
+		return false
+	}
+	if !p.arb.dst.Enq(t) {
+		// Credits are supposed to make this impossible; a failure here means
+		// credit accounting is broken.
+		panic(fmt.Sprintf("credit port %d into %q: enqueue failed with %d credits",
+			p.index, p.arb.dst.Name(), p.credits))
+	}
+	p.credits--
+	p.arb.senders = append(p.arb.senders, p.index)
+	return true
+}
+
+// Arbiter manages the consumer side of a credited queue: it owns the
+// destination queue, hands out producer ports, and returns each token's
+// credit to the producer that sent it as the consumer drains tokens.
+type Arbiter struct {
+	dst     *Queue
+	ports   []*CreditPort
+	senders []int // port index of each buffered credited token, FIFO
+}
+
+// NewArbiter wraps dst with credit flow control for nproducers producers.
+// Credits are divided evenly; remainders go to the lowest-numbered ports,
+// so all dst.Cap() slots are always covered.
+func NewArbiter(dst *Queue, nproducers int) *Arbiter {
+	if nproducers <= 0 {
+		panic("queue: arbiter needs at least one producer")
+	}
+	a := &Arbiter{dst: dst}
+	base := dst.Cap() / nproducers
+	extra := dst.Cap() % nproducers
+	for i := 0; i < nproducers; i++ {
+		c := base
+		if i < extra {
+			c++
+		}
+		a.ports = append(a.ports, &CreditPort{arb: a, index: i, credits: c})
+	}
+	return a
+}
+
+// Port returns the i-th producer port.
+func (a *Arbiter) Port(i int) *CreditPort { return a.ports[i] }
+
+// Ports returns the number of producer ports.
+func (a *Arbiter) Ports() int { return len(a.ports) }
+
+// Queue returns the consumer-side destination queue.
+func (a *Arbiter) Queue() *Queue { return a.dst }
+
+// Deq dequeues one token on behalf of the consumer and returns a credit to
+// the producer that has been waiting longest (approximated round-robin).
+func (a *Arbiter) Deq() (Token, bool) {
+	t, ok := a.dst.Deq()
+	if ok {
+		a.returnCredit()
+	}
+	return t, ok
+}
+
+func (a *Arbiter) returnCredit() {
+	if len(a.senders) == 0 {
+		// The token predates credit accounting (e.g. seeded directly); no
+		// producer is owed a credit.
+		return
+	}
+	idx := a.senders[0]
+	copy(a.senders, a.senders[1:])
+	a.senders = a.senders[:len(a.senders)-1]
+	a.ports[idx].credits++
+}
+
+// TotalCredits returns credits held across all ports plus credits pinned by
+// buffered tokens. The invariant TotalCredits == dst.Cap() holds at all
+// times for queues whose every enqueue went through a port.
+func (a *Arbiter) TotalCredits() int {
+	total := len(a.senders)
+	for _, p := range a.ports {
+		total += p.credits
+	}
+	return total
+}

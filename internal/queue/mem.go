@@ -1,0 +1,73 @@
+package queue
+
+import "fmt"
+
+// Mem models a PE's queue memory: a small SRAM (16 KB by default, Table 2)
+// that is statically divided among the PE's virtualized queues, each managed
+// as a circular buffer (Sec. 3). Allocating a queue consumes part of the
+// budget; allocation fails when the SRAM is exhausted, mirroring the
+// hardware's fixed capacity.
+type Mem struct {
+	name       string
+	totalBytes int
+	usedBytes  int
+	queues     []*Queue
+}
+
+// NewMem returns a queue memory with the given SRAM capacity in bytes.
+func NewMem(name string, totalBytes int) *Mem {
+	if totalBytes <= 0 {
+		panic(fmt.Sprintf("queue.Mem %q: non-positive size %d", name, totalBytes))
+	}
+	return &Mem{name: name, totalBytes: totalBytes}
+}
+
+// TotalBytes returns the SRAM capacity.
+func (m *Mem) TotalBytes() int { return m.totalBytes }
+
+// FreeBytes returns the unallocated SRAM.
+func (m *Mem) FreeBytes() int { return m.totalBytes - m.usedBytes }
+
+// Queues returns all queues allocated from this memory, in allocation order.
+func (m *Mem) Queues() []*Queue { return m.queues }
+
+// Alloc carves a queue with capacity capTokens out of the SRAM budget.
+// It returns an error when the remaining budget is insufficient.
+func (m *Mem) Alloc(name string, capTokens int) (*Queue, error) {
+	need := capTokens * TokenBytes
+	if need > m.FreeBytes() {
+		return nil, fmt.Errorf("queue mem %q: cannot allocate %d tokens (%d B) for %q: %d B free",
+			m.name, capTokens, need, name, m.FreeBytes())
+	}
+	q := NewQueue(name, capTokens)
+	m.usedBytes += need
+	m.queues = append(m.queues, q)
+	return q, nil
+}
+
+// MustAlloc is Alloc but panics on failure; used during system construction
+// where an allocation failure is a configuration bug.
+func (m *Mem) MustAlloc(name string, capTokens int) *Queue {
+	q, err := m.Alloc(name, capTokens)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Sample records occupancy samples on every allocated queue.
+func (m *Mem) Sample() {
+	for _, q := range m.queues {
+		q.Sample()
+	}
+}
+
+// Buffered returns the total number of tokens currently resident across all
+// queues in this memory.
+func (m *Mem) Buffered() int {
+	n := 0
+	for _, q := range m.queues {
+		n += q.Len()
+	}
+	return n
+}

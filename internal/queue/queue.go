@@ -1,0 +1,134 @@
+// Package queue implements Fifer's latency-insensitive channels: virtualized
+// FIFO queues stored in a per-PE queue memory, tokens that carry either data
+// or control values, and credit-based flow control for inter-PE queues
+// (Sec. 3, Sec. 5.3 and Sec. 5.6 of the paper).
+package queue
+
+import "fmt"
+
+// TokenBytes is the storage footprint of one queue entry: a 64-bit value
+// plus its control bit (the control bit rides in otherwise-unused SRAM ECC
+// style bits, so we charge 8 bytes per token, matching the paper's
+// machine-word-width channels).
+const TokenBytes = 8
+
+// Token is one value traveling through a queue. Ctrl marks control values,
+// which PEs handle serially and which delineate iteration or data-set
+// boundaries (Sec. 5.5).
+type Token struct {
+	Value uint64
+	Ctrl  bool
+}
+
+// Data wraps a plain data value as a token.
+func Data(v uint64) Token { return Token{Value: v} }
+
+// Ctrl wraps v as a control token.
+func Ctrl(v uint64) Token { return Token{Value: v, Ctrl: true} }
+
+// Queue is a bounded FIFO of tokens, managed as a circular buffer inside a
+// PE's queue memory. The zero value is not usable; create queues through a
+// Mem so capacity is accounted against the queue SRAM budget.
+type Queue struct {
+	name string
+	buf  []Token
+	head int // index of oldest token
+	size int // tokens currently buffered
+
+	// Statistics.
+	Enqueued uint64 // total tokens ever enqueued
+	Dequeued uint64 // total tokens ever dequeued
+	FullEvts uint64 // enqueue attempts rejected because the queue was full
+	occupSum uint64 // sum of size over sampled cycles (for mean occupancy)
+	occupN   uint64
+}
+
+// NewQueue creates a standalone queue with the given capacity in tokens.
+// Most callers should allocate queues from a Mem instead; NewQueue exists
+// for tests and for conceptually unbounded structures (e.g. the memory
+// controller's internal request list).
+func NewQueue(name string, capTokens int) *Queue {
+	if capTokens <= 0 {
+		panic(fmt.Sprintf("queue %q: non-positive capacity %d", name, capTokens))
+	}
+	return &Queue{name: name, buf: make([]Token, capTokens)}
+}
+
+// Name returns the queue's diagnostic name.
+func (q *Queue) Name() string { return q.name }
+
+// Cap returns the queue capacity in tokens.
+func (q *Queue) Cap() int { return len(q.buf) }
+
+// Len returns the number of tokens currently buffered.
+func (q *Queue) Len() int { return q.size }
+
+// Space returns the number of free slots.
+func (q *Queue) Space() int { return len(q.buf) - q.size }
+
+// Empty reports whether the queue holds no tokens.
+func (q *Queue) Empty() bool { return q.size == 0 }
+
+// Full reports whether the queue has no free slots.
+func (q *Queue) Full() bool { return q.size == len(q.buf) }
+
+// Enq appends a token. It returns false (and counts a full event) when the
+// queue is full.
+func (q *Queue) Enq(t Token) bool {
+	if q.size == len(q.buf) {
+		q.FullEvts++
+		return false
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = t
+	q.size++
+	q.Enqueued++
+	return true
+}
+
+// Deq removes and returns the oldest token. ok is false when the queue is
+// empty.
+func (q *Queue) Deq() (t Token, ok bool) {
+	if q.size == 0 {
+		return Token{}, false
+	}
+	t = q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	q.Dequeued++
+	return t, true
+}
+
+// Peek returns the oldest token without removing it.
+func (q *Queue) Peek() (t Token, ok bool) {
+	if q.size == 0 {
+		return Token{}, false
+	}
+	return q.buf[q.head], true
+}
+
+// PeekAt returns the i-th oldest token (0 = head) without removing it.
+func (q *Queue) PeekAt(i int) (t Token, ok bool) {
+	if i < 0 || i >= q.size {
+		return Token{}, false
+	}
+	return q.buf[(q.head+i)%len(q.buf)], true
+}
+
+// Sample records the current occupancy for mean-occupancy statistics.
+func (q *Queue) Sample() {
+	q.occupSum += uint64(q.size)
+	q.occupN++
+}
+
+// MeanOccupancy returns the average sampled occupancy in tokens.
+func (q *Queue) MeanOccupancy() float64 {
+	if q.occupN == 0 {
+		return 0
+	}
+	return float64(q.occupSum) / float64(q.occupN)
+}
+
+// Reset discards buffered tokens but keeps capacity and statistics.
+func (q *Queue) Reset() {
+	q.head, q.size = 0, 0
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRandZeroSeed(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed stuck at zero")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 10_000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(3)
+	sum := 0.0
+	for i := 0; i < 10_000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+		sum += f
+	}
+	if mean := sum / 10_000; mean < 0.45 || mean > 0.55 {
+		t.Fatalf("mean %g far from 0.5", mean)
+	}
+}
+
+// Property: Perm always returns a permutation.
+func TestPermProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := NewRand(seed)
+		p := r.Perm(int(n%50) + 1)
+		seen := make([]bool, len(p))
+		for _, v := range p {
+			if v < 0 || v >= len(p) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewStats()
+	s.Counter("b").Add(3)
+	s.Counter("a").Inc()
+	s.Counter("b").Inc()
+	if s.Get("b") != 4 || s.Get("a") != 1 || s.Get("missing") != 0 {
+		t.Fatal("counter values wrong")
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	if s.String() != "a=1\nb=4\n" {
+		t.Fatalf("render = %q", s.String())
+	}
+}

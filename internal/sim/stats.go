@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter is a named monotonically increasing statistic.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.Value += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Value++ }
+
+// Stats is a registry of named counters. Components register counters at
+// construction time; reporting code iterates over them in name order.
+type Stats struct {
+	counters map[string]*Counter
+}
+
+// NewStats returns an empty statistics registry.
+func NewStats() *Stats {
+	return &Stats{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+func (s *Stats) Counter(name string) *Counter {
+	if c, ok := s.counters[name]; ok {
+		return c
+	}
+	c := &Counter{Name: name}
+	s.counters[name] = c
+	return c
+}
+
+// Get returns the current value of the named counter, or zero if it has
+// never been touched.
+func (s *Stats) Get(name string) uint64 {
+	if c, ok := s.counters[name]; ok {
+		return c.Value
+	}
+	return 0
+}
+
+// Names returns all registered counter names in sorted order.
+func (s *Stats) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the registry as "name=value" lines, sorted by name.
+func (s *Stats) String() string {
+	var b strings.Builder
+	for _, n := range s.Names() {
+		fmt.Fprintf(&b, "%s=%d\n", n, s.counters[n].Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,193 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fifer/internal/sim"
+)
+
+func small() *CSR {
+	// 3x3: [1 0 2; 0 3 0; 4 0 5]
+	return &CSR{
+		Name: "s", NumRows: 3, NumCols: 3,
+		RowOffsets: []uint64{0, 2, 3, 5},
+		ColIdx:     []uint64{0, 2, 1, 0, 2},
+		Values:     []float64{1, 2, 3, 4, 5},
+	}
+}
+
+func TestCSRValidate(t *testing.T) {
+	if err := small().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := small()
+	bad.ColIdx[1] = 0 // duplicates column 0 in row 0 (not strictly increasing)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid CSR accepted")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := small()
+	tr := Transpose(m)
+	// Column 0 of m holds rows {0, 2} with values {1, 4}.
+	rows, vals := tr.Col(0)
+	if len(rows) != 2 || rows[0] != 0 || rows[1] != 2 || vals[0] != 1 || vals[1] != 4 {
+		t.Fatalf("col 0 = %v %v", rows, vals)
+	}
+	if tr.NNZ() != m.NNZ() {
+		t.Fatal("nnz changed")
+	}
+}
+
+func TestMergeIntersect(t *testing.T) {
+	ia, ib, steps := MergeIntersect([]uint64{1, 3, 5, 7}, []uint64{2, 3, 7, 9})
+	if len(ia) != 2 || ia[0] != 1 || ia[1] != 3 || ib[0] != 1 || ib[1] != 2 {
+		t.Fatalf("intersect = %v %v", ia, ib)
+	}
+	if steps == 0 {
+		t.Fatal("no steps counted")
+	}
+	if ia, _, _ := MergeIntersect(nil, []uint64{1}); ia != nil {
+		t.Fatal("empty intersect wrong")
+	}
+}
+
+// Property: merge-intersect equals set intersection on sorted unique lists.
+func TestMergeIntersectProperty(t *testing.T) {
+	f := func(aBits, bBits uint32) bool {
+		var a, b []uint64
+		set := map[uint64]bool{}
+		for i := uint64(0); i < 32; i++ {
+			if aBits&(1<<i) != 0 {
+				a = append(a, i)
+			}
+			if bBits&(1<<i) != 0 {
+				b = append(b, i)
+				if aBits&(1<<i) != 0 {
+					set[i] = true
+				}
+			}
+		}
+		ia, ib, _ := MergeIntersect(a, b)
+		if len(ia) != len(set) || len(ib) != len(ia) {
+			return false
+		}
+		for k := range ia {
+			if a[ia[k]] != b[ib[k]] || !set[a[ia[k]]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpMMSmall(t *testing.T) {
+	a := small()
+	b := Transpose(a) // B = A in CSC form, so C = A*A
+	got := SpMM(a, b, []int{0, 1, 2}, []int{0, 1, 2})
+	// A*A = [9 0 12; 0 9 0; 24 0 33]
+	want := [][]float64{{9, 0, 12}, {0, 9, 0}, {24, 0, 33}}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("C[%d][%d] = %g, want %g", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// Property: sampled SpMM matches a dense-matrix oracle.
+func TestSpMMDenseOracle(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRand(seed)
+		n := 12
+		dense := make([][]float64, n)
+		m := &CSR{Name: "d", NumRows: n, NumCols: n, RowOffsets: make([]uint64, n+1)}
+		for i := range dense {
+			dense[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				if r.Float64() < 0.3 {
+					v := 1 + r.Float64()
+					dense[i][j] = v
+					m.ColIdx = append(m.ColIdx, uint64(j))
+					m.Values = append(m.Values, v)
+				}
+			}
+			m.RowOffsets[i+1] = uint64(len(m.ColIdx))
+		}
+		rows := []int{0, 3, 7}
+		cols := []int{1, 5, 11}
+		got := SpMM(m, Transpose(m), rows, cols)
+		for ri, i := range rows {
+			for cj, j := range cols {
+				want := 0.0
+				for k := 0; k < n; k++ {
+					want = math.FMA(dense[i][k], dense[k][j], want)
+				}
+				if math.Abs(got[ri][cj]-want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorsMatchTable4(t *testing.T) {
+	for _, in := range Inputs {
+		m := Generate(in, 0, 1)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		_, wantNNZ, _ := PaperStats(in)
+		got := m.AvgNNZPerRow()
+		if got < wantNNZ*0.8 || got > wantNNZ*1.5 {
+			t.Errorf("%s: nnz/row %.2f too far from paper's %.1f", in, got, wantNNZ)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := Generate(FD, 0, 3)
+	b := Generate(FD, 0, 3)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("nondeterministic")
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] || a.ColIdx[i] != b.ColIdx[i] {
+			t.Fatal("nondeterministic contents")
+		}
+	}
+}
+
+func TestBandedGeneratorClustersDiagonal(t *testing.T) {
+	m := Generate(St, 0, 1) // structural: banded
+	near, far := 0, 0
+	band := m.NumRows / 4
+	for r := 0; r < m.NumRows; r++ {
+		cols, _ := m.Row(r)
+		for _, c := range cols {
+			d := int(c) - r
+			if d < 0 {
+				d = -d
+			}
+			if d <= band {
+				near++
+			} else {
+				far++
+			}
+		}
+	}
+	if near < far*3 {
+		t.Fatalf("banded matrix not diagonal-clustered: near=%d far=%d", near, far)
+	}
+}

@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGMean(t *testing.T) {
+	if got := GMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("gmean = %g, want 4", got)
+	}
+	if GMean(nil) != 0 {
+		t.Fatal("empty gmean not 0")
+	}
+	// Zeros and negatives are skipped.
+	if got := GMean([]float64{0, -1, 9}); math.Abs(got-9) > 1e-9 {
+		t.Fatalf("filtered gmean = %g, want 9", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean not 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("name", "value")
+	tbl.Add("alpha", 1)
+	tbl.Add("b", 2.5)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[2], "alpha") {
+		t.Fatalf("bad render:\n%s", out)
+	}
+	// Columns align: every line has the separator at the same offset.
+	if strings.Index(lines[0], "value") != strings.Index(lines[2], "1") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
