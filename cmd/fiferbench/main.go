@@ -5,15 +5,22 @@
 //	fiferbench                      # everything, small scale
 //	fiferbench -exp fig13           # one experiment
 //	fiferbench -exp fig16 -apps BFS,SpMM -scale 0
+//	fiferbench -exp fig13 -j 8      # fan simulations out over 8 workers
 //
 // Experiments: table1 table2 table3 table4 fig13 fig14 fig15 fig16 fig17
 // table5 zerocost all.
+//
+// -j sets how many simulations run concurrently (default: all CPUs). The
+// output is byte-identical for every -j value, including -j 1 (fully
+// serial): each simulation is self-contained and results are collected in
+// submission order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"fifer"
@@ -25,11 +32,23 @@ func main() {
 	scale := flag.Int("scale", 1, "workload scale: 0=tiny, 1=small, 2=medium")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	appsFlag := flag.String("apps", "", "comma-separated app subset (default: all)")
+	jobs := flag.Int("j", runtime.NumCPU(), "concurrent simulations (1 = serial; output is identical for any value)")
+	progress := flag.Bool("progress", false, "report per-simulation progress on stderr")
 	flag.Parse()
 
-	opt := bench.Options{Scale: *scale, Seed: *seed}
+	opt := bench.Options{Scale: *scale, Seed: *seed, Jobs: *jobs}
 	if *appsFlag != "" {
 		opt.Apps = strings.Split(*appsFlag, ",")
+	}
+	if *progress {
+		opt.Progress = func(done, total int, res bench.JobResult) {
+			status := "ok"
+			if res.Err != nil {
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s/%s %v %s\n",
+				done, total, res.Job.App, res.Job.Input, res.Job.Kind, status)
+		}
 	}
 	w := os.Stdout
 

@@ -42,6 +42,9 @@ const (
 var Kinds = apps.Kinds
 
 // Options selects workload scale and seed for runs and experiments.
+// Options.Jobs sets how many simulations the experiment drivers (Fig13,
+// Fig16, Fig17, ZeroCost) run concurrently; 0 (the default) is serial,
+// and results are bit-identical at every worker count.
 type Options = bench.Options
 
 // DefaultOptions returns the standard configuration (small scale, seed 1).
@@ -50,6 +53,12 @@ func DefaultOptions() Options { return bench.DefaultOptions() }
 // Outcome is one run's measurements: cycles, CPI stack, energy inputs, and
 // whether the functional result matched the reference implementation.
 type Outcome = apps.Outcome
+
+// ErrCycleBudget is returned (wrapped) by runs that exhaust their cycle
+// budget (Config.MaxCycles) before completing. The harness cap is applied
+// before the user override, so an override may raise MaxCycles to buy a
+// longer budget.
+var ErrCycleBudget = bench.ErrCycleBudget
 
 // Config is the CGRA-system configuration (Table 2 plus Fifer mechanisms).
 type Config = core.Config

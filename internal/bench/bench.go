@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 
 	"fifer/internal/apps"
@@ -25,6 +26,15 @@ type Options struct {
 	Scale int      // 0 = tiny (tests/benches), 1 = small (default), 2 = medium
 	Seed  uint64   //
 	Apps  []string // subset of AppNames; nil means all
+
+	// Jobs is the number of simulations the experiment drivers run
+	// concurrently. <= 1 runs serially (the default, and what library
+	// callers get unless they opt in); parallel runs produce bit-identical
+	// results in the same order — see Runner.
+	Jobs int
+	// Progress, if non-nil, observes every job completion during driver
+	// sweeps (Fig13, Fig16, Fig17, ZeroCost).
+	Progress ProgressFunc
 }
 
 // DefaultOptions returns the standard harness configuration.
@@ -61,17 +71,39 @@ func (opt Options) selected() []string {
 	return opt.Apps
 }
 
-// RunOne executes one (app, input, system) combination. Harness runs get a
-// bounded cycle budget so a misconfiguration surfaces as an error rather
-// than an endless simulation.
+// HarnessMaxCycles is the cycle budget RunOne imposes on every run so a
+// misconfiguration surfaces as an error rather than an endless simulation.
+const HarnessMaxCycles = 400_000_000
+
+// ErrCycleBudget reports that a simulation ran out of its cycle budget
+// (cfg.MaxCycles) before the program quiesced. RunOne translates the core
+// layer's exhaustion error into this named error so harness callers can
+// errors.Is for it and decide to raise the budget.
+var ErrCycleBudget = errors.New("bench: simulation cycle budget exhausted (raise Config.MaxCycles via the override)")
+
+// RunOne executes one (app, input, system) combination.
+//
+// The harness cap HarnessMaxCycles is applied to cfg.MaxCycles BEFORE the
+// user override runs, so an override that sets MaxCycles always wins:
+// callers can intentionally raise (or lower) the budget. If the budget is
+// exhausted the returned error wraps ErrCycleBudget.
 func RunOne(app, input string, kind apps.SystemKind, merged bool, opt Options, override func(*core.Config)) (apps.Outcome, error) {
 	user := override
 	override = func(cfg *core.Config) {
-		cfg.MaxCycles = 400_000_000
+		cfg.MaxCycles = HarnessMaxCycles
 		if user != nil {
 			user(cfg)
 		}
 	}
+	out, err := runApp(app, input, kind, merged, opt, override)
+	if err != nil && errors.Is(err, core.ErrMaxCycles) {
+		err = fmt.Errorf("%w: %s/%s on %v: %w", ErrCycleBudget, app, input, kind, err)
+	}
+	return out, err
+}
+
+// runApp dispatches to the application packages.
+func runApp(app, input string, kind apps.SystemKind, merged bool, opt Options, override func(*core.Config)) (apps.Outcome, error) {
 	switch app {
 	case bfs.Name:
 		return bfs.Run(kind, graph.Input(input), graph.Scale(opt.Scale), opt.Seed, merged, override)

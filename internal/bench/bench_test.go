@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -31,6 +32,56 @@ func TestOptionsSubset(t *testing.T) {
 	}
 	if got := (Options{}).selected(); len(got) != len(AppNames) {
 		t.Fatal("default selection wrong")
+	}
+}
+
+// TestJobEnumerationMatrix pins the exact app × input matrix the paper's
+// Tables 3/4 define, in the paper's order: this is what every driver's job
+// enumeration fans out over.
+func TestJobEnumerationMatrix(t *testing.T) {
+	wantApps := []string{"BFS", "CC", "PRD", "Radii", "SpMM", "Silo"}
+	if !reflect.DeepEqual(AppNames, wantApps) {
+		t.Fatalf("AppNames = %v, want %v (paper order)", AppNames, wantApps)
+	}
+	graphInputs := []string{"Hu", "Dy", "Ci", "In", "Rd"}
+	inputCases := []struct {
+		app  string
+		want []string
+	}{
+		{"BFS", graphInputs},
+		{"CC", graphInputs},
+		{"PRD", graphInputs},
+		{"Radii", graphInputs},
+		{"SpMM", []string{"FS", "Gr", "GE", "EM", "FD", "St"}},
+		{"Silo", []string{"YCSB-C"}},
+	}
+	for _, tc := range inputCases {
+		if got := InputsOf(tc.app); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("InputsOf(%s) = %v, want %v", tc.app, got, tc.want)
+		}
+	}
+
+	selCases := []struct {
+		name string
+		opt  Options
+		want []string
+	}{
+		{"nil means all, paper order", Options{}, wantApps},
+		{"empty slice means all", Options{Apps: []string{}}, wantApps},
+		{"subset kept as given", Options{Apps: []string{"SpMM", "BFS"}}, []string{"SpMM", "BFS"}},
+		{"single app", Options{Apps: []string{"Silo"}}, []string{"Silo"}},
+		{"unknown app passed through", Options{Apps: []string{"Nope"}}, []string{"Nope"}},
+	}
+	for _, tc := range selCases {
+		if got := tc.opt.selected(); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: selected() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+
+	// An unknown app survives selection but fails at dispatch — through the
+	// driver it surfaces as an error, not a panic or a silent skip.
+	if _, err := Fig13(Options{Scale: 0, Seed: 1, Apps: []string{"Nope"}}); err == nil {
+		t.Fatal("Fig13 with unknown app succeeded")
 	}
 }
 

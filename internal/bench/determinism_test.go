@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"fifer/internal/apps"
+)
+
+// TestParallelMatchesSerial is the determinism guarantee's pin: for every
+// app at scale 0, the same (input, system, seed) run serially and through
+// the parallel Runner must produce bit-identical apps.Outcome structs.
+// Any hidden shared state (a package-level RNG, a memoized generated
+// input) the concurrency audit missed shows up here — either as a
+// DeepEqual mismatch or as a report under `go test -race`.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full determinism sweep")
+	}
+	opt := Options{Scale: 0, Seed: 1}
+	var jobs []Job
+	for _, app := range AppNames {
+		input := InputsOf(app)[0]
+		for _, kind := range apps.Kinds {
+			jobs = append(jobs, Job{App: app, Input: input, Kind: kind})
+		}
+	}
+	serial := Runner{Workers: 1}.Run(opt, jobs)
+	parallel := Runner{Workers: 8}.Run(opt, jobs)
+	if len(serial) != len(jobs) || len(parallel) != len(jobs) {
+		t.Fatalf("result counts: serial=%d parallel=%d, want %d", len(serial), len(parallel), len(jobs))
+	}
+	for i, j := range jobs {
+		if serial[i].Err != nil {
+			t.Fatalf("serial %s/%s %v: %v", j.App, j.Input, j.Kind, serial[i].Err)
+		}
+		if parallel[i].Err != nil {
+			t.Fatalf("parallel %s/%s %v: %v", j.App, j.Input, j.Kind, parallel[i].Err)
+		}
+		if !reflect.DeepEqual(serial[i].Outcome, parallel[i].Outcome) {
+			t.Errorf("%s/%s %v: parallel outcome differs from serial\nserial:   %+v\nparallel: %+v",
+				j.App, j.Input, j.Kind, serial[i].Outcome, parallel[i].Outcome)
+		}
+	}
+}
+
+// TestRepeatedRunsIdentical re-runs one simulation twice back to back in
+// the same process: a cheaper canary for state leaking between runs.
+func TestRepeatedRunsIdentical(t *testing.T) {
+	opt := Options{Scale: 0, Seed: 1}
+	a, err := RunOne("CC", "Hu", apps.FiferPipe, false, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOne("CC", "Hu", apps.FiferPipe, false, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same run twice differs:\nfirst:  %+v\nsecond: %+v", a, b)
+	}
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"os"
+	"runtime"
 	"testing"
 )
 
@@ -9,7 +10,7 @@ func TestDryAll(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep")
 	}
-	opt := Options{Scale: 0, Seed: 1}
+	opt := Options{Scale: 0, Seed: 1, Jobs: runtime.NumCPU()}
 	d, err := Fig13(opt)
 	if err != nil {
 		t.Fatal(err)

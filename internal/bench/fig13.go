@@ -30,21 +30,34 @@ type Fig13Data struct {
 	Cells []Fig13Cell
 }
 
-// Fig13 runs every application on every input on all four systems.
+// Fig13 runs every application on every input on all four systems. The
+// full job list is enumerated up front and executed on opt's worker pool
+// (opt.Jobs workers); cells are assembled from the collected results, in
+// the same (app, input, system) order a serial sweep produces.
 func Fig13(opt Options) (*Fig13Data, error) {
-	data := &Fig13Data{}
+	var jobs []Job
 	for _, app := range opt.selected() {
 		for _, input := range InputsOf(app) {
-			cell := Fig13Cell{App: app, Input: input, Outcomes: map[apps.SystemKind]apps.Outcome{}}
 			for _, kind := range apps.Kinds {
-				out, err := RunOne(app, input, kind, false, opt, nil)
-				if err != nil {
-					return nil, fmt.Errorf("fig13 %s/%s: %w", app, input, err)
-				}
-				cell.Outcomes[kind] = out
+				jobs = append(jobs, Job{App: app, Input: input, Kind: kind})
 			}
-			data.Cells = append(data.Cells, cell)
 		}
+	}
+	results := opt.runner().Run(opt, jobs)
+	if bad := firstError(results); bad != nil {
+		return nil, fmt.Errorf("fig13 %s/%s: %w", bad.Job.App, bad.Job.Input, bad.Err)
+	}
+	data := &Fig13Data{}
+	for i := 0; i < len(results); i += len(apps.Kinds) {
+		cell := Fig13Cell{
+			App:      results[i].Job.App,
+			Input:    results[i].Job.Input,
+			Outcomes: map[apps.SystemKind]apps.Outcome{},
+		}
+		for _, res := range results[i : i+len(apps.Kinds)] {
+			cell.Outcomes[res.Job.Kind] = res.Outcome
+		}
+		data.Cells = append(data.Cells, cell)
 	}
 	return data, nil
 }

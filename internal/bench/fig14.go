@@ -9,8 +9,10 @@ import (
 	"fifer/internal/stats"
 )
 
-// Fig14 and Fig15 reuse the Fig. 13 sweep's outcomes: the cycle and energy
-// breakdowns are computed from the same runs.
+// Fig14, Fig15, and Table 5 reuse the Fig. 13 sweep's outcomes: the cycle
+// and energy breakdowns render from the collected results without running
+// any simulations of their own, so they inherit Fig13's parallel execution
+// (Options.Jobs) and its determinism guarantee for free.
 
 // CPIBreakdown is one system's Fig. 14 bar: fractions of core/PE cycles.
 type CPIBreakdown struct {

@@ -23,35 +23,76 @@ type Fig16Point struct {
 var Fig16Factors = []float64{0.25, 0.5, 1, 2, 4}
 
 // Fig16 sweeps per-PE queue memory and double-buffered configuration cells
-// on the Fifer system.
+// on the Fifer system. Baseline and sweep jobs are enumerated together and
+// run on opt's worker pool; speedups are computed from the collected
+// results.
 func Fig16(opt Options) ([]Fig16Point, error) {
-	var points []Fig16Point
+	type meta struct {
+		app, input     string
+		factor         float64
+		double, isBase bool
+	}
+	var jobs []Job
+	var metas []meta
 	for _, app := range opt.selected() {
-		inputs := InputsOf(app)
-		// Baseline cycles per input (factor 1, double-buffered).
-		base := make(map[string]uint64)
-		for _, input := range inputs {
-			out, err := RunOne(app, input, apps.FiferPipe, false, opt, nil)
-			if err != nil {
-				return nil, fmt.Errorf("fig16 %s/%s base: %w", app, input, err)
-			}
-			base[input] = out.Cycles
+		for _, input := range InputsOf(app) {
+			// Baseline cycles per input (factor 1, double-buffered).
+			jobs = append(jobs, Job{App: app, Input: input, Kind: apps.FiferPipe})
+			metas = append(metas, meta{app: app, input: input, isBase: true})
 		}
 		for _, factor := range Fig16Factors {
 			for _, double := range []bool{true, false} {
-				var xs []float64
-				for _, input := range inputs {
+				for _, input := range InputsOf(app) {
 					f, d := factor, double
-					out, err := RunOne(app, input, apps.FiferPipe, false, opt, func(cfg *core.Config) {
-						*cfg = cfg.WithQueueScale(f)
-						cfg.DoubleBuffered = d
-					})
-					if err != nil {
-						return nil, fmt.Errorf("fig16 %s/%s x%.2g db=%v: %w", app, input, factor, double, err)
-					}
-					xs = append(xs, float64(base[input])/float64(out.Cycles))
+					jobs = append(jobs, Job{App: app, Input: input, Kind: apps.FiferPipe,
+						Override: func(cfg *core.Config) {
+							*cfg = cfg.WithQueueScale(f)
+							cfg.DoubleBuffered = d
+						}})
+					metas = append(metas, meta{app: app, input: input, factor: factor, double: double})
 				}
-				points = append(points, Fig16Point{App: app, Factor: factor, Double: double, Speedup: stats.GMean(xs)})
+			}
+		}
+	}
+	results := opt.runner().Run(opt, jobs)
+	for i, res := range results {
+		if res.Err != nil {
+			m := metas[i]
+			if m.isBase {
+				return nil, fmt.Errorf("fig16 %s/%s base: %w", m.app, m.input, res.Err)
+			}
+			return nil, fmt.Errorf("fig16 %s/%s x%.2g db=%v: %w", m.app, m.input, m.factor, m.double, res.Err)
+		}
+	}
+
+	base := make(map[[2]string]uint64) // (app, input) -> baseline cycles
+	for i, m := range metas {
+		if m.isBase {
+			base[[2]string{m.app, m.input}] = results[i].Outcome.Cycles
+		}
+	}
+	// Points keep the serial sweep's order: per app, factor-major then
+	// double-buffer, gmean across that app's inputs.
+	var points []Fig16Point
+	type ptKey struct {
+		app    string
+		factor float64
+		double bool
+	}
+	speedups := map[ptKey][]float64{}
+	for i, m := range metas {
+		if m.isBase {
+			continue
+		}
+		k := ptKey{m.app, m.factor, m.double}
+		speedups[k] = append(speedups[k],
+			float64(base[[2]string{m.app, m.input}])/float64(results[i].Outcome.Cycles))
+	}
+	for _, app := range opt.selected() {
+		for _, factor := range Fig16Factors {
+			for _, double := range []bool{true, false} {
+				points = append(points, Fig16Point{App: app, Factor: factor, Double: double,
+					Speedup: stats.GMean(speedups[ptKey{app, factor, double}])})
 			}
 		}
 	}
@@ -92,26 +133,29 @@ type ZeroCostResult struct {
 }
 
 // ZeroCost measures the speedup of free reconfiguration over the default.
+// Jobs are enumerated in (default, idealized) pairs per (app, input) and
+// run on opt's worker pool.
 func ZeroCost(opt Options) (ZeroCostResult, error) {
 	var res ZeroCostResult
-	var xs []float64
+	var jobs []Job
 	for _, app := range opt.selected() {
 		for _, input := range InputsOf(app) {
-			base, err := RunOne(app, input, apps.FiferPipe, false, opt, nil)
-			if err != nil {
-				return res, err
-			}
-			ideal, err := RunOne(app, input, apps.FiferPipe, false, opt, func(cfg *core.Config) {
-				cfg.ZeroCostReconfig = true
-			})
-			if err != nil {
-				return res, err
-			}
-			s := float64(base.Cycles) / float64(ideal.Cycles)
-			xs = append(xs, s)
-			if s > res.Max {
-				res.Max, res.Where = s, app+"/"+input
-			}
+			jobs = append(jobs, Job{App: app, Input: input, Kind: apps.FiferPipe})
+			jobs = append(jobs, Job{App: app, Input: input, Kind: apps.FiferPipe,
+				Override: func(cfg *core.Config) { cfg.ZeroCostReconfig = true }})
+		}
+	}
+	results := opt.runner().Run(opt, jobs)
+	if bad := firstError(results); bad != nil {
+		return res, bad.Err
+	}
+	var xs []float64
+	for i := 0; i < len(results); i += 2 {
+		base, ideal := results[i], results[i+1]
+		s := float64(base.Outcome.Cycles) / float64(ideal.Outcome.Cycles)
+		xs = append(xs, s)
+		if s > res.Max {
+			res.Max, res.Where = s, base.Job.App+"/"+base.Job.Input
 		}
 	}
 	res.GMean = stats.GMean(xs)

@@ -18,24 +18,36 @@ type Fig17Row struct {
 }
 
 // Fig17 compares the fully decoupled static pipeline, the merged-stage
-// static pipeline, and Fifer.
+// static pipeline, and Fifer. Jobs are enumerated as (decoupled, merged,
+// fifer) triples per (app, input) and run on opt's worker pool.
 func Fig17(opt Options) ([]Fig17Row, error) {
+	var jobs []Job
+	for _, app := range opt.selected() {
+		for _, input := range InputsOf(app) {
+			jobs = append(jobs,
+				Job{App: app, Input: input, Kind: apps.StaticPipe},
+				Job{App: app, Input: input, Kind: apps.StaticPipe, Merged: true},
+				Job{App: app, Input: input, Kind: apps.FiferPipe})
+		}
+	}
+	results := opt.runner().Run(opt, jobs)
+	if bad := firstError(results); bad != nil {
+		variant := "decoupled"
+		switch {
+		case bad.Job.Merged:
+			variant = "merged"
+		case bad.Job.Kind == apps.FiferPipe:
+			variant = "fifer"
+		}
+		return nil, fmt.Errorf("fig17 %s/%s %s: %w", bad.Job.App, bad.Job.Input, variant, bad.Err)
+	}
 	var rows []Fig17Row
+	i := 0
 	for _, app := range opt.selected() {
 		var merged, fifer []float64
-		for _, input := range InputsOf(app) {
-			base, err := RunOne(app, input, apps.StaticPipe, false, opt, nil)
-			if err != nil {
-				return nil, fmt.Errorf("fig17 %s/%s decoupled: %w", app, input, err)
-			}
-			m, err := RunOne(app, input, apps.StaticPipe, true, opt, nil)
-			if err != nil {
-				return nil, fmt.Errorf("fig17 %s/%s merged: %w", app, input, err)
-			}
-			f, err := RunOne(app, input, apps.FiferPipe, false, opt, nil)
-			if err != nil {
-				return nil, fmt.Errorf("fig17 %s/%s fifer: %w", app, input, err)
-			}
+		for range InputsOf(app) {
+			base, m, f := results[i].Outcome, results[i+1].Outcome, results[i+2].Outcome
+			i += 3
 			merged = append(merged, float64(base.Cycles)/float64(m.Cycles))
 			fifer = append(fifer, float64(base.Cycles)/float64(f.Cycles))
 		}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// update rewrites the golden files from the current output:
+//
+//	go test ./internal/bench -run TestGolden -update
+//
+// Inspect the diff before committing — a golden change means the paper's
+// regenerated numbers (or their formatting) changed.
+var update = flag.Bool("update", false, "rewrite testdata/*.golden from current output")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/bench -run TestGolden -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden output.\n--- got ---\n%s\n--- want ---\n%s\nIf the change is intentional, refresh with -update and review the diff.",
+			path, got, want)
+	}
+}
+
+// goldenOpt is the fixed configuration all goldens snapshot: tiny scale,
+// seed 1, like `fiferbench -scale 0 -seed 1`. Jobs only sets parallelism;
+// per the determinism guarantee it cannot affect the bytes produced.
+func goldenOpt(apps ...string) Options {
+	return Options{Scale: 0, Seed: 1, Apps: apps, Jobs: runtime.NumCPU()}
+}
+
+// TestGoldenTables snapshots the simulation-free tables (1-4).
+func TestGoldenTables(t *testing.T) {
+	var b strings.Builder
+	opt := goldenOpt()
+	PrintTable1(&b)
+	b.WriteString("\n")
+	PrintTable2(&b)
+	b.WriteString("\n")
+	PrintTable3(&b, opt)
+	b.WriteString("\n")
+	PrintTable4(&b, opt)
+	checkGolden(t, "tables", b.String())
+}
+
+// TestGoldenFig13Family snapshots the Fig. 13 sweep's formatters (Fig. 13,
+// 14, 15 and Table 5) for a two-app subset at scale 0 — enough to catch
+// simulator or formatter drift at review time without a full sweep.
+func TestGoldenFig13Family(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	opt := goldenOpt("BFS", "SpMM")
+	d, err := Fig13(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, print := range map[string]func(*strings.Builder){
+		"fig13":  func(b *strings.Builder) { d.Print(b) },
+		"fig14":  func(b *strings.Builder) { d.PrintFig14(b, opt) },
+		"fig15":  func(b *strings.Builder) { d.PrintFig15(b, opt) },
+		"table5": func(b *strings.Builder) { d.PrintTable5(b, opt) },
+	} {
+		var b strings.Builder
+		print(&b)
+		checkGolden(t, name, b.String())
+	}
+}
+
+// TestGoldenFig16 snapshots the queue-memory sweep formatter for BFS.
+func TestGoldenFig16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	opt := goldenOpt("BFS")
+	points, err := Fig16(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	PrintFig16(&b, points, opt)
+	checkGolden(t, "fig16", b.String())
+}
+
+// TestGoldenFig17 snapshots the merged-stage comparison for BFS.
+func TestGoldenFig17(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	opt := goldenOpt("BFS")
+	rows, err := Fig17(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	PrintFig17(&b, rows)
+	checkGolden(t, "fig17", b.String())
+}
+
+// TestGoldenZeroCost snapshots the Sec. 8.3 ablation for SpMM.
+func TestGoldenZeroCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	r, err := ZeroCost(goldenOpt("SpMM"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	PrintZeroCost(&b, r)
+	checkGolden(t, "zerocost", b.String())
+}

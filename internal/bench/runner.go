@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+
+	"fifer/internal/apps"
+	"fifer/internal/core"
+)
+
+// Job describes one simulation: the same tuple RunOne accepts. Experiment
+// drivers enumerate their full job list up front and hand it to a Runner,
+// so the (app × input × system) sweeps that dominate regeneration time can
+// fan out across cores.
+type Job struct {
+	App, Input string
+	Kind       apps.SystemKind
+	Merged     bool
+	Override   func(*core.Config)
+}
+
+// JobResult pairs a job with its outcome. Exactly one of Outcome/Err is
+// meaningful: a failed simulation carries its error here instead of
+// aborting the batch, so one bad configuration cannot take down or reorder
+// the rest of a sweep.
+type JobResult struct {
+	Job     Job
+	Outcome apps.Outcome
+	Err     error
+}
+
+// ProgressFunc observes job completions. done counts completed jobs
+// (1..total); calls are serialized, but arrive in completion order, not
+// submission order.
+type ProgressFunc func(done, total int, res JobResult)
+
+// Runner executes batches of simulation jobs on a bounded worker pool.
+//
+// Results are returned in submission order regardless of completion order,
+// and every simulation is self-contained (fresh RNG, freshly generated
+// inputs), so a parallel run's outcomes are bit-identical to a serial
+// run's. The determinism test in determinism_test.go pins this down.
+type Runner struct {
+	// Workers bounds the number of concurrently running simulations.
+	// <= 0 means runtime.GOMAXPROCS(0); 1 reproduces fully serial
+	// execution.
+	Workers int
+	// Progress, if non-nil, is invoked after each job completes.
+	Progress ProgressFunc
+
+	// run stubs out RunOne in unit tests.
+	run func(Job, Options) (apps.Outcome, error)
+}
+
+// Run executes jobs and returns one JobResult per job, index-aligned with
+// the input slice. It always runs every job: errors are captured per job,
+// never short-circuited.
+func (r Runner) Run(opt Options, jobs []Job) []JobResult {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	runOne := r.run
+	if runOne == nil {
+		runOne = func(j Job, opt Options) (apps.Outcome, error) {
+			return RunOne(j.App, j.Input, j.Kind, j.Merged, opt, j.Override)
+		}
+	}
+
+	results := make([]JobResult, len(jobs))
+	var progressMu sync.Mutex
+	done := 0
+	finish := func(i int, out apps.Outcome, err error) {
+		results[i] = JobResult{Job: jobs[i], Outcome: out, Err: err}
+		if r.Progress != nil {
+			progressMu.Lock()
+			done++
+			r.Progress(done, len(jobs), results[i])
+			progressMu.Unlock()
+		}
+	}
+
+	if workers <= 1 {
+		for i, j := range jobs {
+			out, err := runOne(j, opt)
+			finish(i, out, err)
+		}
+		return results
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out, err := runOne(jobs[i], opt)
+				finish(i, out, err)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runner builds the Runner the experiment drivers share, honoring
+// opt.Jobs. Options defaults to serial (Jobs == 0 → 1 worker) so library
+// callers keep today's behavior unless they ask for parallelism;
+// cmd/fiferbench defaults -j to runtime.NumCPU().
+func (opt Options) runner() Runner {
+	workers := opt.Jobs
+	if workers <= 0 {
+		workers = 1
+	}
+	return Runner{Workers: workers, Progress: opt.Progress}
+}
+
+// firstError returns the first failed result in submission order, or nil.
+func firstError(results []JobResult) *JobResult {
+	for i := range results {
+		if results[i].Err != nil {
+			return &results[i]
+		}
+	}
+	return nil
+}

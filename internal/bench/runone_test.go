@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"errors"
+	"testing"
+
+	"fifer/internal/apps"
+	"fifer/internal/core"
+)
+
+// TestRunOneCapBeforeOverride pins the documented override ordering: the
+// harness cap on MaxCycles is applied before the user override runs, so
+// the override observes the capped value and can intentionally replace it.
+func TestRunOneCapBeforeOverride(t *testing.T) {
+	var seen uint64
+	_, err := RunOne("BFS", "Hu", apps.FiferPipe, false, Options{Scale: 0, Seed: 1},
+		func(cfg *core.Config) { seen = cfg.MaxCycles })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != HarnessMaxCycles {
+		t.Fatalf("override saw MaxCycles=%d, want the harness cap %d (cap must be applied first)", seen, HarnessMaxCycles)
+	}
+}
+
+// TestRunOneCycleBudgetError checks that an override lowering the budget
+// wins over the harness cap (proving user overrides are applied last) and
+// that exhaustion surfaces as the named ErrCycleBudget, still wrapping the
+// core layer's sentinel.
+func TestRunOneCycleBudgetError(t *testing.T) {
+	_, err := RunOne("BFS", "Hu", apps.FiferPipe, false, Options{Scale: 0, Seed: 1},
+		func(cfg *core.Config) { cfg.MaxCycles = 10 })
+	if err == nil {
+		t.Fatal("MaxCycles=10 run succeeded; override did not win over the harness cap")
+	}
+	if !errors.Is(err, ErrCycleBudget) {
+		t.Fatalf("err = %v, want errors.Is(err, ErrCycleBudget)", err)
+	}
+	if !errors.Is(err, core.ErrMaxCycles) {
+		t.Fatalf("err = %v, want it to still wrap core.ErrMaxCycles", err)
+	}
+}
+
+// TestRunnerCapturesCycleBudgetError checks the named error also comes
+// back through the worker pool's per-job capture.
+func TestRunnerCapturesCycleBudgetError(t *testing.T) {
+	jobs := []Job{
+		{App: "BFS", Input: "Hu", Kind: apps.FiferPipe,
+			Override: func(cfg *core.Config) { cfg.MaxCycles = 10 }},
+		{App: "BFS", Input: "Hu", Kind: apps.FiferPipe},
+	}
+	results := Runner{Workers: 2}.Run(Options{Scale: 0, Seed: 1}, jobs)
+	if !errors.Is(results[0].Err, ErrCycleBudget) {
+		t.Fatalf("job 0 err = %v, want ErrCycleBudget", results[0].Err)
+	}
+	if results[1].Err != nil {
+		t.Fatalf("job 1 err = %v, want success despite job 0 failing", results[1].Err)
+	}
+}

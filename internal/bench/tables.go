@@ -40,29 +40,75 @@ func PrintTable2(w io.Writer) {
 	fmt.Fprint(w, tbl)
 }
 
+// Table3Row is one input graph's characteristics: the paper's published
+// dataset stats next to the generated synthetic stand-in's.
+type Table3Row struct {
+	Graph, Domain, Dataset string
+	PaperV, PaperE         int
+	PaperDeg               float64
+	GenV, GenE             int
+	GenDeg                 float64
+}
+
+// Table3 generates every Table 3 input at the chosen scale and collects
+// its characteristics; PrintTable3 renders the collected rows.
+func Table3(opt Options) []Table3Row {
+	rows := make([]Table3Row, 0, len(graph.Inputs))
+	for _, in := range graph.Inputs {
+		pv, pe, pd, domain := graph.PaperStats(in)
+		g := graph.Generate(in, graph.Scale(opt.Scale), opt.Seed)
+		rows = append(rows, Table3Row{
+			Graph: string(in), Domain: domain, Dataset: graph.DatasetName(in),
+			PaperV: pv, PaperE: pe, PaperDeg: pd,
+			GenV: g.NumVertices(), GenE: g.NumEdges(), GenDeg: g.AvgDegree(),
+		})
+	}
+	return rows
+}
+
 // PrintTable3 renders the input-graph characteristics (Table 3): paper
 // datasets alongside the generated stand-ins at the chosen scale.
 func PrintTable3(w io.Writer, opt Options) {
 	fmt.Fprintln(w, "Table 3: input graphs (paper dataset -> generated synthetic stand-in)")
 	tbl := stats.NewTable("graph", "domain", "paper V", "paper E", "paper deg", "gen V", "gen E", "gen deg")
-	for _, in := range graph.Inputs {
-		pv, pe, pd, domain := graph.PaperStats(in)
-		g := graph.Generate(in, graph.Scale(opt.Scale), opt.Seed)
-		tbl.Add(string(in), domain+" ("+graph.DatasetName(in)+")", pv, pe, fmt.Sprintf("%.1f", pd),
-			g.NumVertices(), g.NumEdges(), fmt.Sprintf("%.1f", g.AvgDegree()))
+	for _, r := range Table3(opt) {
+		tbl.Add(r.Graph, r.Domain+" ("+r.Dataset+")", r.PaperV, r.PaperE, fmt.Sprintf("%.1f", r.PaperDeg),
+			r.GenV, r.GenE, fmt.Sprintf("%.1f", r.GenDeg))
 	}
 	fmt.Fprint(w, tbl)
+}
+
+// Table4Row is one input matrix's characteristics.
+type Table4Row struct {
+	Matrix, Domain string
+	PaperN         int
+	PaperNNZ       float64
+	GenN           int
+	GenNNZ         float64
+}
+
+// Table4 generates every Table 4 matrix and collects its characteristics;
+// PrintTable4 renders the collected rows.
+func Table4(opt Options) []Table4Row {
+	rows := make([]Table4Row, 0, len(sparse.Inputs))
+	for _, in := range sparse.Inputs {
+		pn, pd, domain := sparse.PaperStats(in)
+		m := sparse.Generate(in, opt.Scale, opt.Seed)
+		rows = append(rows, Table4Row{
+			Matrix: string(in), Domain: domain, PaperN: pn, PaperNNZ: pd,
+			GenN: m.NumRows, GenNNZ: m.AvgNNZPerRow(),
+		})
+	}
+	return rows
 }
 
 // PrintTable4 renders the input-matrix characteristics (Table 4).
 func PrintTable4(w io.Writer, opt Options) {
 	fmt.Fprintln(w, "Table 4: input matrices (paper dataset -> generated synthetic stand-in)")
 	tbl := stats.NewTable("matrix", "domain", "paper n", "paper nnz/row", "gen n", "gen nnz/row")
-	for _, in := range sparse.Inputs {
-		pn, pd, domain := sparse.PaperStats(in)
-		m := sparse.Generate(in, opt.Scale, opt.Seed)
-		tbl.Add(string(in), domain, pn, fmt.Sprintf("%.1f", pd),
-			m.NumRows, fmt.Sprintf("%.1f", m.AvgNNZPerRow()))
+	for _, r := range Table4(opt) {
+		tbl.Add(r.Matrix, r.Domain, r.PaperN, fmt.Sprintf("%.1f", r.PaperNNZ),
+			r.GenN, fmt.Sprintf("%.1f", r.GenNNZ))
 	}
 	fmt.Fprint(w, tbl)
 }

@@ -1,11 +1,18 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"fifer/internal/mem"
 	"fifer/internal/queue"
 )
+
+// ErrMaxCycles reports that a run elapsed Cfg.MaxCycles before the program
+// quiesced (deadlock or runaway program). Run's error wraps it, so callers
+// up the stack (including the bench harness) can detect budget exhaustion
+// with errors.Is even through their own wrapping.
+var ErrMaxCycles = errors.New("core: exceeded MaxCycles")
 
 // System is a complete CGRA-based machine: PEs, the shared cache hierarchy,
 // the functional backing store, and the control core's run loop (Fig. 4 /
@@ -109,7 +116,7 @@ func (s *System) Run(prog Program) (Result, error) {
 			res.Rounds++
 		}
 		if s.Cycle >= s.Cfg.MaxCycles {
-			return res, fmt.Errorf("core: exceeded MaxCycles=%d (deadlock or runaway program)", s.Cfg.MaxCycles)
+			return res, fmt.Errorf("%w: MaxCycles=%d (deadlock or runaway program)", ErrMaxCycles, s.Cfg.MaxCycles)
 		}
 	}
 	res.Cycles = s.Cycle
