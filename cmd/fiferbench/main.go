@@ -14,6 +14,11 @@
 // output is byte-identical for every -j value, including -j 1 (fully
 // serial): each simulation is self-contained and results are collected in
 // submission order.
+//
+// -watchdog and -audit tune the simulator's robustness layer: the progress
+// watchdog window and the live invariant-audit period, in cycles. Both
+// mechanisms only observe the simulation, so results are identical at any
+// setting; 0 keeps the config defaults, -1 disables.
 package main
 
 import (
@@ -34,9 +39,12 @@ func main() {
 	appsFlag := flag.String("apps", "", "comma-separated app subset (default: all)")
 	jobs := flag.Int("j", runtime.NumCPU(), "concurrent simulations (1 = serial; output is identical for any value)")
 	progress := flag.Bool("progress", false, "report per-simulation progress on stderr")
+	watchdog := flag.Int64("watchdog", 0, "deadlock watchdog window in cycles (0 = config default, -1 = disable)")
+	audit := flag.Int64("audit", 0, "invariant audit period in cycles (0 = config default, -1 = disable)")
 	flag.Parse()
 
-	opt := bench.Options{Scale: *scale, Seed: *seed, Jobs: *jobs}
+	opt := bench.Options{Scale: *scale, Seed: *seed, Jobs: *jobs,
+		WatchdogCycles: *watchdog, AuditCycles: *audit}
 	if *appsFlag != "" {
 		opt.Apps = strings.Split(*appsFlag, ",")
 	}

@@ -60,6 +60,22 @@ type Outcome = apps.Outcome
 // longer budget.
 var ErrCycleBudget = bench.ErrCycleBudget
 
+// ErrDeadlock is returned (wrapped) when the progress watchdog
+// (Config.WatchdogCycles, or Options.WatchdogCycles) sees no component of
+// the simulated system make progress for a full window. errors.As with a
+// *DeadlockError retrieves the structured report.
+var ErrDeadlock = core.ErrDeadlock
+
+// ErrInvariant is returned (wrapped) when the live invariant audit
+// (Config.AuditCycles, or Options.AuditCycles) finds the simulation in an
+// inconsistent state, or when recovered queue-layer corruption is reported.
+var ErrInvariant = core.ErrInvariant
+
+// DeadlockError carries the watchdog's structured DeadlockReport: trip
+// cycle, last progress, wait-for edges naming what each blocked component
+// waits on, and a truncated state dump.
+type DeadlockError = core.DeadlockError
+
 // Config is the CGRA-system configuration (Table 2 plus Fifer mechanisms).
 type Config = core.Config
 

@@ -35,6 +35,14 @@ type Options struct {
 	// Progress, if non-nil, observes every job completion during driver
 	// sweeps (Fig13, Fig16, Fig17, ZeroCost).
 	Progress ProgressFunc
+
+	// WatchdogCycles adjusts the core progress watchdog for every job:
+	// 0 keeps the config default, > 0 sets the window, < 0 disables the
+	// watchdog. Like the harness cycle cap it is applied before the per-job
+	// Override, so an override that sets Config.WatchdogCycles wins.
+	WatchdogCycles int64
+	// AuditCycles likewise adjusts the live invariant audit period.
+	AuditCycles int64
 }
 
 // DefaultOptions returns the standard harness configuration.
@@ -91,6 +99,12 @@ func RunOne(app, input string, kind apps.SystemKind, merged bool, opt Options, o
 	user := override
 	override = func(cfg *core.Config) {
 		cfg.MaxCycles = HarnessMaxCycles
+		if opt.WatchdogCycles != 0 {
+			cfg.WatchdogCycles = cyclesKnob(opt.WatchdogCycles)
+		}
+		if opt.AuditCycles != 0 {
+			cfg.AuditCycles = cyclesKnob(opt.AuditCycles)
+		}
 		if user != nil {
 			user(cfg)
 		}
@@ -100,6 +114,15 @@ func RunOne(app, input string, kind apps.SystemKind, merged bool, opt Options, o
 		err = fmt.Errorf("%w: %s/%s on %v: %w", ErrCycleBudget, app, input, kind, err)
 	}
 	return out, err
+}
+
+// cyclesKnob maps an Options cycle knob to a config value: negative
+// disables the mechanism (0 in the config), positive passes through.
+func cyclesKnob(v int64) uint64 {
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
 }
 
 // runApp dispatches to the application packages.

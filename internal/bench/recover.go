@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"fifer/internal/apps"
+)
+
+// PanicError captures a panic that escaped one simulation job: the panic
+// value plus the goroutine stack at the point of recovery. The Runner
+// converts panics into this error so a corrupted or misconfigured job fails
+// alone — carrying enough context to be diagnosed from the batch report —
+// while the rest of the sweep completes with untouched results.
+//
+// Note the division of labor with the core layer: Run recovers the queue
+// layer's typed corruption panics itself (into core.ErrInvariant, with a
+// state-dump excerpt), so what reaches this recovery is the unexpected
+// remainder — bad configs panicking in NewSystem, nil derefs, index errors.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error renders the panic value followed by the captured stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("bench: simulation panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// protect wraps a job-running function with panic recovery.
+func protect(run func(Job, Options) (apps.Outcome, error)) func(Job, Options) (apps.Outcome, error) {
+	return func(j Job, opt Options) (out apps.Outcome, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				out = apps.Outcome{}
+				err = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return run(j, opt)
+	}
+}

@@ -69,6 +69,9 @@ func (r Runner) Run(opt Options, jobs []Job) []JobResult {
 			return RunOne(j.App, j.Input, j.Kind, j.Merged, opt, j.Override)
 		}
 	}
+	// A panicking job must not take down (or reorder) the batch: recover it
+	// into a per-job *PanicError and keep going.
+	runOne = protect(runOne)
 
 	results := make([]JobResult, len(jobs))
 	var progressMu sync.Mutex

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"fifer/internal/cgra"
 	"fifer/internal/mem"
 )
@@ -62,6 +64,22 @@ type Config struct {
 	SIMDReplication  bool // replicate small datapaths to fill the fabric (Sec. 5.6)
 
 	MaxCycles uint64 // safety limit; Run fails beyond this
+
+	// WatchdogCycles is the progress watchdog's window: if no component of
+	// the system (datapath firings, queue traffic, memory accesses,
+	// reconfiguration completions) makes progress for this many cycles, Run
+	// fails fast with ErrDeadlock and a structured DeadlockReport instead of
+	// burning the rest of the MaxCycles budget. 0 disables the watchdog.
+	// The watchdog only observes monotonic counters; it never perturbs the
+	// simulation, so results are identical with it on or off.
+	WatchdogCycles uint64
+
+	// AuditCycles is the live invariant audit's period: every AuditCycles
+	// cycles Run validates credit conservation, queue occupancy bounds,
+	// queue-SRAM byte accounting, and DRM inflight accounting, failing with
+	// ErrInvariant on the first violation. 0 disables the audit. Like the
+	// watchdog it is read-only and cannot change simulation results.
+	AuditCycles uint64
 }
 
 // DefaultConfig returns the paper's 16-PE Fifer system.
@@ -81,6 +99,8 @@ func DefaultConfig() Config {
 		DoubleBuffered:  true,
 		SIMDReplication: true,
 		MaxCycles:       2_000_000_000,
+		WatchdogCycles:  1_000_000,
+		AuditCycles:     1024,
 	}
 }
 
@@ -97,4 +117,30 @@ func StaticConfig() Config {
 func (c Config) WithQueueScale(factor float64) Config {
 	c.QueueMemBytes = int(float64(c.QueueMemBytes) * factor)
 	return c
+}
+
+// Validate reports the first structural problem that would make a system
+// built from c misbehave in a hard-to-diagnose way. A zero Hier.Clients is
+// not an error — NewSystemChecked fixes it up to PEs — but any other
+// mismatch is rejected rather than silently overridden.
+func (c *Config) Validate() error {
+	switch {
+	case c.PEs <= 0:
+		return fmt.Errorf("core: config needs at least one PE (PEs=%d)", c.PEs)
+	case c.MaxCycles == 0:
+		return fmt.Errorf("core: config needs a positive MaxCycles cycle budget")
+	case c.QueueMemBytes <= 0:
+		return fmt.Errorf("core: config needs positive per-PE queue memory (QueueMemBytes=%d)", c.QueueMemBytes)
+	case c.DRMsPerPE < 0:
+		return fmt.Errorf("core: negative DRMsPerPE %d", c.DRMsPerPE)
+	case c.DRMsPerPE > 0 && c.DRMOutstanding <= 0:
+		return fmt.Errorf("core: config needs positive DRMOutstanding (got %d with %d DRMs/PE)",
+			c.DRMOutstanding, c.DRMsPerPE)
+	case c.BackingBytes <= 0:
+		return fmt.Errorf("core: config needs a positive BackingBytes store (got %d)", c.BackingBytes)
+	case c.Hier.Clients != 0 && c.Hier.Clients != c.PEs:
+		return fmt.Errorf("core: Hier.Clients=%d does not match PEs=%d (leave it 0 to size automatically)",
+			c.Hier.Clients, c.PEs)
+	}
+	return nil
 }

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"fifer/internal/mem"
 	"fifer/internal/queue"
 	"fifer/internal/stage"
@@ -118,6 +116,15 @@ func (d *DRM) In() *queue.Queue { return d.in }
 // InPort returns the input queue wrapped as a stage output port.
 func (d *DRM) InPort() stage.OutPort { return stage.LocalPort{Q: d.in} }
 
+// Out returns the configured output port (nil before Configure).
+func (d *DRM) Out() stage.OutPort { return d.out }
+
+// Inflight returns the number of accesses currently in flight.
+func (d *DRM) Inflight() int { return len(d.inflight) }
+
+// MaxOutstanding returns the in-flight access bound.
+func (d *DRM) MaxOutstanding() int { return d.max }
+
 // Busy reports whether the DRM has pending work: buffered addresses,
 // in-flight accesses, or an active scan range.
 func (d *DRM) Busy() bool {
@@ -183,7 +190,8 @@ func (d *DRM) issue(now uint64) bool {
 			s, _ := d.in.Deq()
 			e, _ := d.in.Deq()
 			if e.Ctrl {
-				panic(fmt.Sprintf("drm %s: control token inside scan range pair", d.name))
+				// Typed so Run degrades this to a per-job ErrInvariant.
+				panic(&queue.Corruption{Component: d.name, Detail: "control token inside scan range pair"})
 			}
 			if s.Value >= e.Value {
 				if d.boundary {

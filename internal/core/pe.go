@@ -311,6 +311,27 @@ func (p *PE) accountBlocked(st stage.Status) {
 	p.Stack.Idle++
 }
 
+// Reconfiguring reports whether the PE is inside a reconfiguration period
+// at the given cycle.
+func (p *PE) Reconfiguring(now uint64) bool {
+	return now < p.reconfigUntil || p.pending >= 0
+}
+
+// FaultDelayReconfig is a fault-injection hook (internal/faults): it
+// extends an in-progress reconfiguration by extra cycles, modeling a
+// configuration load that never arrives. It reports whether a
+// reconfiguration was in progress to delay.
+func (p *PE) FaultDelayReconfig(now uint64, extra uint64) bool {
+	if !p.Reconfiguring(now) {
+		return false
+	}
+	if p.reconfigUntil < now {
+		p.reconfigUntil = now
+	}
+	p.reconfigUntil += extra
+	return true
+}
+
 // MeanResidence returns the average residence time of a configuration on
 // this PE, in cycles (Table 5).
 func (p *PE) MeanResidence() float64 {

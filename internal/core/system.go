@@ -14,6 +14,18 @@ import (
 // with errors.Is even through their own wrapping.
 var ErrMaxCycles = errors.New("core: exceeded MaxCycles")
 
+// ErrDeadlock reports that the progress watchdog saw no component of the
+// system make progress for Cfg.WatchdogCycles — a deadlock caught long
+// before the MaxCycles budget would have burned down. The returned error is
+// a *DeadlockError; errors.As exposes the structured DeadlockReport.
+var ErrDeadlock = errors.New("core: simulation deadlocked (watchdog)")
+
+// ErrInvariant reports that the live invariant audit (Cfg.AuditCycles)
+// found the simulation in an internally inconsistent state, or that the
+// queue layer raised a typed corruption that Run recovered. The wrapped
+// message names the failing invariant and component.
+var ErrInvariant = errors.New("core: simulation invariant violated")
+
 // System is a complete CGRA-based machine: PEs, the shared cache hierarchy,
 // the functional backing store, and the control core's run loop (Fig. 4 /
 // Fig. 7). Whether it behaves as Fifer or as the static-pipeline baseline is
@@ -26,14 +38,36 @@ type System struct {
 	Cycle   uint64
 
 	arbiters []*queue.Arbiter
+
+	// hooks run at the top of every cycle, before the PEs tick. They exist
+	// for observers and fault injectors (internal/faults); Run never skips
+	// them, and an empty list costs one length check per cycle.
+	hooks []func(s *System, now uint64)
 }
 
-// NewSystem builds a system from cfg.
+// NewSystem builds a system from cfg, panicking on an invalid config. It
+// keeps the historical convenience of silently sizing Hier.Clients to PEs;
+// use NewSystemChecked to get validation errors instead of panics.
 func NewSystem(cfg Config) *System {
-	if cfg.PEs <= 0 {
-		panic("core: config needs at least one PE")
-	}
 	if cfg.Hier.Clients != cfg.PEs {
+		cfg.Hier.Clients = cfg.PEs
+	}
+	s, err := NewSystemChecked(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewSystemChecked builds a system from cfg after validating it, returning
+// an error (rather than a panic or a silently mis-sized machine) for
+// non-positive cycle budgets, queue or backing sizes, and Clients/PEs
+// mismatches. A zero Hier.Clients is sized to PEs.
+func NewSystemChecked(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Hier.Clients == 0 {
 		cfg.Hier.Clients = cfg.PEs
 	}
 	s := &System{
@@ -44,7 +78,13 @@ func NewSystem(cfg Config) *System {
 	for i := 0; i < cfg.PEs; i++ {
 		s.PEs = append(s.PEs, newPE(i, s))
 	}
-	return s
+	return s, nil
+}
+
+// OnCycle registers f to run at the start of every simulated cycle. It is
+// the seam fault injectors use to corrupt a live system at a chosen cycle.
+func (s *System) OnCycle(f func(s *System, now uint64)) {
+	s.hooks = append(s.hooks, f)
 }
 
 // PE returns processing element i.
@@ -88,12 +128,42 @@ type Result struct {
 	Reconfigs     uint64
 }
 
-// Run drives the system until the program reports completion. It returns an
-// error if Cfg.MaxCycles elapse first (deadlock or runaway program).
-func (s *System) Run(prog Program) (Result, error) {
-	var res Result
+// Run drives the system until the program reports completion. It fails with
+// ErrMaxCycles when Cfg.MaxCycles elapse first, with ErrDeadlock when the
+// progress watchdog sees no progress for Cfg.WatchdogCycles, and with
+// ErrInvariant when the live audit finds inconsistent state (including
+// queue-layer corruption panics, which are recovered here so a corrupted
+// simulation fails as one job instead of crashing the process).
+func (s *System) Run(prog Program) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, ok := r.(*queue.Corruption)
+			if !ok {
+				panic(r)
+			}
+			err = fmt.Errorf("%w: corruption: %s: %s\n%s",
+				ErrInvariant, c.Component, c.Detail, s.BlockedSummary(dumpExcerptLines))
+		}
+	}()
+	// The watchdog compares monotonic progress counters at checkpoints half
+	// a window apart: two equal consecutive snapshots prove zero progress
+	// over at least half a window, and the deadlock is reported within one
+	// full window of the last real progress.
+	var wdInterval uint64
+	if s.Cfg.WatchdogCycles > 0 {
+		if wdInterval = s.Cfg.WatchdogCycles / 2; wdInterval == 0 {
+			wdInterval = 1
+		}
+	}
+	lastSig := s.progressSig()
+	lastProgress := s.Cycle
 	for {
 		quiet := true
+		if len(s.hooks) > 0 {
+			for _, f := range s.hooks {
+				f(s, s.Cycle)
+			}
+		}
 		for _, pe := range s.PEs {
 			pe.Tick(s.Cycle)
 		}
@@ -115,8 +185,21 @@ func (s *System) Run(prog Program) (Result, error) {
 			}
 			res.Rounds++
 		}
+		if wdInterval > 0 && s.Cycle%wdInterval == 0 {
+			sig := s.progressSig()
+			if sig == lastSig {
+				return res, s.deadlockError(lastProgress)
+			}
+			lastSig, lastProgress = sig, s.Cycle
+		}
+		if s.Cfg.AuditCycles > 0 && s.Cycle%s.Cfg.AuditCycles == 0 {
+			if aerr := s.AuditLive(); aerr != nil {
+				return res, aerr
+			}
+		}
 		if s.Cycle >= s.Cfg.MaxCycles {
-			return res, fmt.Errorf("%w: MaxCycles=%d (deadlock or runaway program)", ErrMaxCycles, s.Cfg.MaxCycles)
+			return res, fmt.Errorf("%w: MaxCycles=%d (deadlock or runaway program)\n%s",
+				ErrMaxCycles, s.Cfg.MaxCycles, s.BlockedSummary(dumpExcerptLines))
 		}
 	}
 	res.Cycles = s.Cycle

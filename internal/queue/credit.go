@@ -1,7 +1,5 @@
 package queue
 
-import "fmt"
-
 // CreditPort is the producer-side endpoint of an inter-PE queue with
 // credit-based flow control (Sec. 5.6). Each destination queue divides its
 // credits (free slots) evenly across its producers; a producer stalls when it
@@ -27,6 +25,10 @@ type CreditPort struct {
 // Credits returns the port's current credit count.
 func (p *CreditPort) Credits() int { return p.credits }
 
+// DestName returns the name of the destination queue this port feeds, for
+// diagnostics (deadlock wait-for edges name the queue a producer starves on).
+func (p *CreditPort) DestName() string { return p.arb.dst.Name() }
+
 // CanSend reports whether the port holds at least one credit.
 func (p *CreditPort) CanSend() bool { return p.credits > 0 }
 
@@ -39,9 +41,10 @@ func (p *CreditPort) Send(t Token) bool {
 	}
 	if !p.arb.dst.Enq(t) {
 		// Credits are supposed to make this impossible; a failure here means
-		// credit accounting is broken.
-		panic(fmt.Sprintf("credit port %d into %q: enqueue failed with %d credits",
-			p.index, p.arb.dst.Name(), p.credits))
+		// credit accounting is broken. Raised as a typed Corruption so the
+		// simulation core can recover it into a per-run invariant error.
+		corruptf(p.arb.dst.Name(), "credit port %d: enqueue failed with %d credits held",
+			p.index, p.credits)
 	}
 	p.credits--
 	p.arb.senders = append(p.arb.senders, p.index)
@@ -107,6 +110,12 @@ func (a *Arbiter) returnCredit() {
 	a.senders = a.senders[:len(a.senders)-1]
 	a.ports[idx].credits++
 }
+
+// CreditedBuffered returns the number of buffered tokens that arrived
+// through a credit port and still pin a sender's credit. It can be less
+// than the queue length (tokens seeded directly pin no credit) but never
+// more; the live audit checks that inequality every period.
+func (a *Arbiter) CreditedBuffered() int { return len(a.senders) }
 
 // TotalCredits returns credits held across all ports plus credits pinned by
 // buffered tokens. The invariant TotalCredits == dst.Cap() holds at all

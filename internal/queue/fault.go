@@ -1,0 +1,50 @@
+package queue
+
+import "fmt"
+
+// Corruption reports an internal inconsistency in the queue layer: a state
+// the flow-control protocol is supposed to make unreachable (e.g. a credited
+// enqueue finding the destination full). It is raised with panic so the hot
+// path stays branch-free, but as a typed value: the simulation core recovers
+// Corruption panics and converts them into a per-run invariant error, so a
+// corrupted simulation degrades to one failed job instead of killing the
+// whole process (and the rest of a parallel bench batch with it).
+type Corruption struct {
+	// Component names the queue, port, or machine whose state is corrupt.
+	Component string
+	// Detail describes the impossible state that was observed.
+	Detail string
+}
+
+// Error implements the error interface.
+func (c *Corruption) Error() string {
+	return fmt.Sprintf("queue corruption in %s: %s", c.Component, c.Detail)
+}
+
+// corruptf panics with a *Corruption carrying the formatted detail.
+func corruptf(component, format string, args ...any) {
+	panic(&Corruption{Component: component, Detail: fmt.Sprintf(format, args...)})
+}
+
+// The methods below are fault-injection hooks for internal/faults. They
+// exist to corrupt an otherwise-healthy simulation on purpose so the
+// watchdog and invariant audit can be proven to catch the damage; nothing
+// in the simulator itself calls them.
+
+// FaultAdjustCredits adds delta to the port's credit count (negative delta
+// withholds credits, positive delta counterfeits them) and returns the new
+// count. Withheld credits starve the producer; counterfeit credits make a
+// credited enqueue overrun the destination queue.
+func (p *CreditPort) FaultAdjustCredits(delta int) int {
+	p.credits += delta
+	return p.credits
+}
+
+// FaultDropToken dequeues one buffered token WITHOUT returning its credit to
+// the sender — a lost grant. It reports whether a token was dropped. The
+// arbiter is left owing a credit it can never repay, which the live audit
+// observes as more credited senders than buffered tokens.
+func (a *Arbiter) FaultDropToken() bool {
+	_, ok := a.dst.Deq()
+	return ok
+}

@@ -62,6 +62,22 @@ type OutPort interface {
 	Push(t queue.Token) bool
 }
 
+// Named is implemented by ports that can report which queue they front.
+// Deadlock diagnostics use it to name the queue a blocked stage waits on;
+// PortName degrades gracefully for ports that do not implement it.
+type Named interface {
+	Name() string
+}
+
+// PortName returns the diagnostic name of a port, or "?" for anonymous
+// (test-only) port implementations.
+func PortName(p any) string {
+	if n, ok := p.(Named); ok {
+		return n.Name()
+	}
+	return "?"
+}
+
 // LocalPort adapts a *queue.Queue to both port interfaces (intra-PE queues,
 // Sec. 5.3).
 type LocalPort struct{ Q *queue.Queue }
@@ -72,6 +88,7 @@ func (p LocalPort) PeekAt(i int) (queue.Token, bool) { return p.Q.PeekAt(i) }
 func (p LocalPort) Pop() (queue.Token, bool)         { return p.Q.Deq() }
 func (p LocalPort) Space() int                       { return p.Q.Space() }
 func (p LocalPort) Push(t queue.Token) bool          { return p.Q.Enq(t) }
+func (p LocalPort) Name() string                     { return p.Q.Name() }
 
 // ArbiterPort adapts the consumer side of a credited queue: dequeues return
 // credits to producers.
@@ -81,6 +98,7 @@ func (p ArbiterPort) Len() int                         { return p.A.Queue().Len(
 func (p ArbiterPort) Peek() (queue.Token, bool)        { return p.A.Queue().Peek() }
 func (p ArbiterPort) PeekAt(i int) (queue.Token, bool) { return p.A.Queue().PeekAt(i) }
 func (p ArbiterPort) Pop() (queue.Token, bool)         { return p.A.Deq() }
+func (p ArbiterPort) Name() string                     { return p.A.Queue().Name() }
 
 // CreditOut adapts a producer-side credit port.
 type CreditOut struct{ P *queue.CreditPort }
@@ -89,6 +107,7 @@ func (p CreditOut) Space() int {
 	return p.P.Credits()
 }
 func (p CreditOut) Push(t queue.Token) bool { return p.P.Send(t) }
+func (p CreditOut) Name() string            { return p.P.DestName() }
 
 // Ctx is the environment of one firing attempt. The PE populates it each
 // cycle; kernels use it to touch queues and memory.
