@@ -19,20 +19,33 @@
 // watchdog window and the live invariant-audit period, in cycles. Both
 // mechanisms only observe the simulation, so results are identical at any
 // setting; 0 keeps the config defaults, -1 disables.
+//
+// Crash-safe sweeps: -journal FILE appends every finished job to a
+// checksummed JSONL journal; -resume (with the same -journal and workload
+// flags) replays the completed jobs and runs only the remainder, producing
+// byte-identical tables. -job-timeout bounds each job's wall-clock time and
+// -retries re-runs transient failures. SIGINT/SIGTERM stops admitting jobs,
+// cancels in-flight simulations cooperatively, flushes the journal, renders
+// whatever completed in degraded mode, and exits nonzero with a summary; a
+// second signal kills immediately. See EXPERIMENTS.md.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"fifer"
 	"fifer/internal/bench"
 )
 
-func main() {
+func main() { os.Exit(fiferbench()) }
+
+func fiferbench() int {
 	exp := flag.String("exp", "all", "experiment to run")
 	scale := flag.Int("scale", 1, "workload scale: 0=tiny, 1=small, 2=medium")
 	seed := flag.Uint64("seed", 1, "generator seed")
@@ -41,18 +54,82 @@ func main() {
 	progress := flag.Bool("progress", false, "report per-simulation progress on stderr")
 	watchdog := flag.Int64("watchdog", 0, "deadlock watchdog window in cycles (0 = config default, -1 = disable)")
 	audit := flag.Int64("audit", 0, "invariant audit period in cycles (0 = config default, -1 = disable)")
+	journalPath := flag.String("journal", "", "append every finished job to this crash-safe JSONL journal")
+	resume := flag.Bool("resume", false, "resume from the -journal file: replay completed jobs, run only the remainder")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock deadline, e.g. 90s (0 = none)")
+	retries := flag.Int("retries", 0, "times a transiently-failed job (panic, cycle budget) is retried")
 	flag.Parse()
 
 	opt := bench.Options{Scale: *scale, Seed: *seed, Jobs: *jobs,
-		WatchdogCycles: *watchdog, AuditCycles: *audit}
+		WatchdogCycles: *watchdog, AuditCycles: *audit,
+		JobTimeout: *jobTimeout, Retries: *retries}
 	if *appsFlag != "" {
 		opt.Apps = strings.Split(*appsFlag, ",")
 	}
-	if *progress {
-		opt.Progress = func(done, total int, res bench.JobResult) {
-			status := "ok"
-			if res.Err != nil {
-				status = "FAILED"
+
+	var journal *bench.Journal
+	if *resume && *journalPath == "" {
+		fmt.Fprintln(os.Stderr, "fiferbench: -resume requires -journal")
+		return 2
+	}
+	if *journalPath != "" {
+		var err error
+		if *resume {
+			journal, err = bench.ResumeJournal(*journalPath, opt)
+		} else {
+			journal, err = bench.CreateJournal(*journalPath, opt)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fiferbench: %v\n", err)
+			return 1
+		}
+		opt.Journal = journal
+		if *resume {
+			fmt.Fprintf(os.Stderr, "fiferbench: resuming from %s: %d completed job(s) will be replayed\n",
+				*journalPath, journal.Replayed())
+		}
+	}
+
+	// SIGINT/SIGTERM: stop admitting jobs and cancel in-flight simulations
+	// through the cooperative core hook; finished work is already in the
+	// journal. A second signal kills the process immediately.
+	cancel := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "\nfiferbench: %v: canceling — in-flight simulations stop at their next checkpoint, the journal is flushed, partial tables render degraded (repeat the signal to kill now)\n", s)
+		close(cancel)
+		<-sigc
+		os.Exit(130)
+	}()
+	opt.Cancel = cancel
+
+	// The summary counts every job the drivers report, whether or not
+	// -progress echoes them.
+	var okCnt, failedCnt, canceledCnt, replayedCnt, retriedCnt int
+	opt.Progress = func(done, total int, res bench.JobResult) {
+		class := bench.ErrorClass(res.Err)
+		switch class {
+		case bench.ClassOK:
+			okCnt++
+		case bench.ClassCanceled, bench.ClassTimeout:
+			canceledCnt++
+		default:
+			failedCnt++
+		}
+		if res.Replayed {
+			replayedCnt++
+		}
+		if res.Attempts > 1 {
+			retriedCnt++
+		}
+		if *progress {
+			status := class
+			if res.Replayed {
+				status += " (replayed)"
+			} else if res.Attempts > 1 {
+				status += fmt.Sprintf(" (attempt %d)", res.Attempts)
 			}
 			fmt.Fprintf(os.Stderr, "[%d/%d] %s/%s %v %s\n",
 				done, total, res.Job.App, res.Job.Input, res.Job.Kind, status)
@@ -60,6 +137,7 @@ func main() {
 	}
 	w := os.Stdout
 
+	code := 0
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
 			return
@@ -67,7 +145,10 @@ func main() {
 		fmt.Fprintf(w, "==== %s ====\n", name)
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			if code == 0 {
+				code = 1
+			}
+			return
 		}
 		fmt.Fprintln(w)
 	}
@@ -138,4 +219,31 @@ func main() {
 		bench.PrintZeroCost(w, r)
 		return nil
 	})
+
+	if err := journal.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "fiferbench: journal: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	interrupted := false
+	select {
+	case <-cancel:
+		interrupted = true
+	default:
+	}
+	if failedCnt > 0 || canceledCnt > 0 || interrupted {
+		fmt.Fprintf(os.Stderr, "fiferbench: %d ok, %d failed, %d canceled/timed out (%d replayed, %d retried)\n",
+			okCnt, failedCnt, canceledCnt, replayedCnt, retriedCnt)
+		if *journalPath != "" {
+			fmt.Fprintf(os.Stderr, "fiferbench: journal flushed to %s — rerun with -resume to pick up where this run stopped\n", *journalPath)
+		}
+		if interrupted {
+			return 130
+		}
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
 }

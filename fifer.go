@@ -54,6 +54,15 @@ func DefaultOptions() Options { return bench.DefaultOptions() }
 // whether the functional result matched the reference implementation.
 type Outcome = apps.Outcome
 
+// JobResult is one sweep job's result as reported to Options.Progress:
+// the job, its outcome or error, the attempt count, and whether it was
+// replayed from a journal.
+type JobResult = bench.JobResult
+
+// ProgressFunc observes sweep job completions (Options.Progress); done is
+// monotone 1..total and every job is reported exactly once.
+type ProgressFunc = bench.ProgressFunc
+
 // ErrCycleBudget is returned (wrapped) by runs that exhaust their cycle
 // budget (Config.MaxCycles) before completing. The harness cap is applied
 // before the user override, so an override may raise MaxCycles to buy a
@@ -75,6 +84,42 @@ var ErrInvariant = core.ErrInvariant
 // cycle, last progress, wait-for edges naming what each blocked component
 // waits on, and a truncated state dump.
 type DeadlockError = core.DeadlockError
+
+// ErrCanceled is returned (wrapped) by runs stopped through the cooperative
+// cancellation hook (Config.Done, or Options.Cancel). errors.As with a
+// *CanceledError retrieves the stop cycle and a blocked-state excerpt.
+var ErrCanceled = core.ErrCanceled
+
+// CanceledError carries where a canceled run stopped.
+type CanceledError = core.CanceledError
+
+// ErrJobTimeout is returned (wrapped) by sweep jobs that exceeded
+// Options.JobTimeout; the underlying error still wraps ErrCanceled because
+// the deadline is enforced through the same cooperative hook.
+var ErrJobTimeout = bench.ErrJobTimeout
+
+// ErrorClass maps any run or sweep error onto its stable one-word class
+// ("ok", "canceled", "timeout", "panic", "cycle-budget", "deadlock",
+// "invariant", "journal-mismatch", "error") — the vocabulary the journal
+// persists and degraded tables print.
+func ErrorClass(err error) string { return bench.ErrorClass(err) }
+
+// Journal is the crash-safe JSONL result log that makes sweeps resumable;
+// see CreateJournal and ResumeJournal.
+type Journal = bench.Journal
+
+// CreateJournal starts a fresh journal at path for sweeps run with opt;
+// attach it via Options.Journal.
+func CreateJournal(path string, opt Options) (*Journal, error) {
+	return bench.CreateJournal(path, opt)
+}
+
+// ResumeJournal verifies an existing journal against opt and returns a
+// Journal that replays completed jobs and appends the rest, making a
+// resumed sweep byte-identical to an uninterrupted one.
+func ResumeJournal(path string, opt Options) (*Journal, error) {
+	return bench.ResumeJournal(path, opt)
+}
 
 // Config is the CGRA-system configuration (Table 2 plus Fifer mechanisms).
 type Config = core.Config

@@ -8,6 +8,7 @@ package bench
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"fifer/internal/apps"
 	"fifer/internal/apps/bfs"
@@ -43,6 +44,37 @@ type Options struct {
 	WatchdogCycles int64
 	// AuditCycles likewise adjusts the live invariant audit period.
 	AuditCycles int64
+
+	// Cancel, when non-nil, cancels the whole sweep cooperatively once the
+	// channel is closed: no new job starts, and every in-flight CGRA
+	// simulation stops at its next cancellation checkpoint (core.Config.Done)
+	// with an error wrapping core.ErrCanceled. The OOO baselines do not run
+	// through the core loop and finish on their own. A never-closed Cancel
+	// does not change any result.
+	Cancel <-chan struct{}
+
+	// JobTimeout, when positive, bounds each job's wall-clock time. The
+	// deadline is enforced through the same cooperative core hook — the
+	// simulation goroutine is stopped, never abandoned — and a timed-out
+	// job's error wraps ErrJobTimeout. Wall-clock deadlines depend on
+	// machine speed, so sweeps using them forfeit run-to-run determinism
+	// for the jobs that time out.
+	JobTimeout time.Duration
+
+	// Retries is how many times a transiently-failed job (recovered panic,
+	// exhausted cycle budget) is re-run before its error is final. Each
+	// retry waits a capped exponential backoff with deterministic jitter,
+	// and a cycle-budget retry doubles the job's budget.
+	Retries int
+
+	// MaxCycles overrides the harness cycle budget HarnessMaxCycles for
+	// every job (0 keeps the default). The per-job Override still wins, as
+	// it does for the other knobs.
+	MaxCycles uint64
+
+	// Journal, when non-nil, records every finished job durably and replays
+	// journaled results on a resumed sweep. See CreateJournal/ResumeJournal.
+	Journal *Journal
 }
 
 // DefaultOptions returns the standard harness configuration.
@@ -99,6 +131,12 @@ func RunOne(app, input string, kind apps.SystemKind, merged bool, opt Options, o
 	user := override
 	override = func(cfg *core.Config) {
 		cfg.MaxCycles = HarnessMaxCycles
+		if opt.MaxCycles > 0 {
+			cfg.MaxCycles = opt.MaxCycles
+		}
+		if opt.Cancel != nil {
+			cfg.Done = opt.Cancel
+		}
 		if opt.WatchdogCycles != 0 {
 			cfg.WatchdogCycles = cyclesKnob(opt.WatchdogCycles)
 		}

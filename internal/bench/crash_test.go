@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fifer/internal/apps"
+	"fifer/internal/core"
+)
+
+// TestRunnerEmptyBatch checks the explicit empty-batch path: a non-nil
+// empty result, no progress calls, nothing journaled.
+func TestRunnerEmptyBatch(t *testing.T) {
+	path := journalPath(t)
+	j, err := CreateJournal(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	r := Runner{
+		Workers:  4,
+		Progress: func(done, total int, res JobResult) { calls++ },
+		run: func(Job, Options) (apps.Outcome, error) {
+			t.Error("empty batch ran a job")
+			return apps.Outcome{}, nil
+		},
+	}
+	for _, jobs := range [][]Job{nil, {}} {
+		results := r.Run(Options{Journal: j}, jobs)
+		if results == nil || len(results) != 0 {
+			t.Fatalf("empty batch returned %#v, want empty non-nil slice", results)
+		}
+	}
+	if calls != 0 {
+		t.Fatalf("progress called %d times on empty batches", calls)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ResumeJournal(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.Replayed() != 0 {
+		t.Fatal("empty batch journaled records")
+	}
+}
+
+// TestPanicErrorRoundTrip checks a recovered panic carries the job identity
+// and unwraps to the original error chain.
+func TestPanicErrorRoundTrip(t *testing.T) {
+	sentinel := errors.New("boom-root")
+	r := Runner{Workers: 1, run: func(Job, Options) (apps.Outcome, error) {
+		panic(fmt.Errorf("kernel blew up: %w", sentinel))
+	}}
+	job := Job{App: "BFS", Input: "Rd", Kind: apps.StaticPipe, Merged: true}
+	res := r.Run(Options{}, []Job{job})[0]
+
+	var pe *PanicError
+	if !errors.As(res.Err, &pe) {
+		t.Fatalf("err %v does not expose *PanicError", res.Err)
+	}
+	if pe.App != job.App || pe.Input != job.Input || pe.Kind != job.Kind || !pe.Merged {
+		t.Fatalf("panic lost its job identity: %+v", pe)
+	}
+	if !errors.Is(res.Err, sentinel) {
+		t.Fatalf("err %v does not unwrap to the panicked error", res.Err)
+	}
+	if got := ErrorClass(res.Err); got != ClassPanic {
+		t.Fatalf("class = %q, want %q", got, ClassPanic)
+	}
+	for _, want := range []string{"BFS/Rd", "merged", "goroutine"} {
+		if !strings.Contains(pe.Error(), want) {
+			t.Fatalf("panic message lacks %q:\n%s", want, pe.Error())
+		}
+	}
+	// Non-error panic values unwrap to nothing but still classify.
+	if err := (&PanicError{Value: 42}).Unwrap(); err != nil {
+		t.Fatalf("non-error panic value unwrapped to %v", err)
+	}
+}
+
+// TestRetryTransient checks a panicking job is re-run up to Options.Retries
+// times and a late success clears the error.
+func TestRetryTransient(t *testing.T) {
+	attempts := 0
+	r := Runner{Workers: 1, RetryBase: time.Millisecond, RetryCap: 2 * time.Millisecond,
+		run: func(Job, Options) (apps.Outcome, error) {
+			attempts++
+			if attempts < 3 {
+				panic("flaky")
+			}
+			return apps.Outcome{Cycles: 9}, nil
+		}}
+	res := r.Run(Options{Retries: 3}, []Job{{App: "BFS", Input: "Rn"}})[0]
+	if res.Err != nil {
+		t.Fatalf("retried job failed: %v", res.Err)
+	}
+	if res.Attempts != 3 || attempts != 3 {
+		t.Fatalf("attempts = %d (runner) / %d (observed), want 3", res.Attempts, attempts)
+	}
+	if res.Outcome.Cycles != 9 {
+		t.Fatal("late success lost its outcome")
+	}
+}
+
+// TestRetryOnlyTransient checks deterministic failures are not retried:
+// re-running a deadlock or a bad config reproduces it exactly.
+func TestRetryOnlyTransient(t *testing.T) {
+	for name, err := range map[string]error{
+		"deadlock":  fmt.Errorf("sim: %w", core.ErrDeadlock),
+		"invariant": fmt.Errorf("sim: %w", core.ErrInvariant),
+		"plain":     errors.New("unknown app"),
+	} {
+		attempts := 0
+		r := Runner{Workers: 1, RetryBase: time.Millisecond,
+			run: func(Job, Options) (apps.Outcome, error) { attempts++; return apps.Outcome{}, err }}
+		res := r.Run(Options{Retries: 5}, []Job{{App: "BFS"}})[0]
+		if attempts != 1 || res.Attempts != 1 {
+			t.Errorf("%s: ran %d times, want 1", name, attempts)
+		}
+		if !errors.Is(res.Err, err) {
+			t.Errorf("%s: error replaced: %v", name, res.Err)
+		}
+	}
+}
+
+// TestRetryBudgetDoubling checks a cycle-budget failure retries with a
+// doubled budget instead of burning the same cycles to the same wall.
+func TestRetryBudgetDoubling(t *testing.T) {
+	var budgets []uint64
+	r := Runner{Workers: 1, RetryBase: time.Millisecond, RetryCap: 2 * time.Millisecond,
+		run: func(_ Job, o Options) (apps.Outcome, error) {
+			budgets = append(budgets, o.MaxCycles)
+			return apps.Outcome{}, fmt.Errorf("sim: %w", ErrCycleBudget)
+		}}
+	res := r.Run(Options{Retries: 2}, []Job{{App: "BFS"}})[0]
+	want := []uint64{0, 2 * HarnessMaxCycles, 4 * HarnessMaxCycles}
+	if len(budgets) != len(want) {
+		t.Fatalf("budgets = %v, want %v", budgets, want)
+	}
+	for i := range want {
+		if budgets[i] != want[i] {
+			t.Fatalf("budgets = %v, want %v", budgets, want)
+		}
+	}
+	if res.Attempts != 3 || ErrorClass(res.Err) != ClassCycleBudget {
+		t.Fatalf("final result = attempts %d class %q, want 3 %q", res.Attempts, ErrorClass(res.Err), ClassCycleBudget)
+	}
+}
+
+// TestJobTimeout checks the per-job deadline stops a job through the
+// cooperative hook and classifies it as timeout, not canceled.
+func TestJobTimeout(t *testing.T) {
+	r := Runner{Workers: 1, run: func(_ Job, o Options) (apps.Outcome, error) {
+		// Stand-in for a core simulation honoring Config.Done.
+		select {
+		case <-o.Cancel:
+			return apps.Outcome{}, fmt.Errorf("stopped at checkpoint: %w", core.ErrCanceled)
+		case <-time.After(30 * time.Second):
+			return apps.Outcome{Cycles: 1}, nil
+		}
+	}}
+	start := time.Now()
+	res := r.Run(Options{JobTimeout: 20 * time.Millisecond}, []Job{{App: "BFS", Input: "Rn"}})[0]
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline did not bound the job (took %v)", elapsed)
+	}
+	if !errors.Is(res.Err, ErrJobTimeout) || !errors.Is(res.Err, core.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrJobTimeout wrapping core.ErrCanceled", res.Err)
+	}
+	if got := ErrorClass(res.Err); got != ClassTimeout {
+		t.Fatalf("class = %q, want %q", got, ClassTimeout)
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("timed-out job reports %d attempts, want 1 (timeouts are not retried)", res.Attempts)
+	}
+}
+
+// TestSweepCancelBeatsTimeout checks a sweep-wide cancel during a job with
+// an armed (but unexpired) deadline classifies as canceled, not timeout.
+func TestSweepCancelBeatsTimeout(t *testing.T) {
+	cancel := make(chan struct{})
+	time.AfterFunc(10*time.Millisecond, func() { close(cancel) })
+	r := Runner{Workers: 1, run: func(_ Job, o Options) (apps.Outcome, error) {
+		select {
+		case <-o.Cancel:
+			return apps.Outcome{}, fmt.Errorf("stopped at checkpoint: %w", core.ErrCanceled)
+		case <-time.After(30 * time.Second):
+			return apps.Outcome{Cycles: 1}, nil
+		}
+	}}
+	res := r.Run(Options{JobTimeout: time.Hour, Cancel: cancel}, []Job{{App: "BFS", Input: "Rn"}})[0]
+	if got := ErrorClass(res.Err); got != ClassCanceled {
+		t.Fatalf("class = %q (err %v), want %q", got, res.Err, ClassCanceled)
+	}
+}
+
+// TestProgressContractUnderCancel pins the ProgressFunc contract while a
+// sweep is canceled mid-flight: done is monotone 1..total, total is
+// constant, and every job is reported exactly once — including the jobs
+// skipped after the cancel.
+func TestProgressContractUnderCancel(t *testing.T) {
+	const n = 12
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{App: "BFS", Input: fmt.Sprintf("in%d", i), Kind: apps.FiferPipe}
+	}
+	cancel := make(chan struct{})
+	var once sync.Once
+	seen := map[string]int{}
+	lastDone := 0
+	var classes []string
+	r := Runner{
+		Workers: 2,
+		Progress: func(done, total int, res JobResult) {
+			if total != n {
+				t.Errorf("total = %d, want %d", total, n)
+			}
+			if done != lastDone+1 {
+				t.Errorf("done jumped %d -> %d, want monotone steps of 1", lastDone, done)
+			}
+			lastDone = done
+			seen[res.Job.Input]++
+			classes = append(classes, ErrorClass(res.Err))
+			if done == 3 {
+				once.Do(func() { close(cancel) })
+			}
+		},
+		run: func(Job, Options) (apps.Outcome, error) {
+			time.Sleep(5 * time.Millisecond)
+			return apps.Outcome{Cycles: 1}, nil
+		},
+	}
+	results := r.Run(Options{Cancel: cancel}, jobs)
+
+	if lastDone != n {
+		t.Fatalf("done reached %d, want %d (every job reported)", lastDone, n)
+	}
+	for i := range jobs {
+		if seen[jobs[i].Input] != 1 {
+			t.Fatalf("job %s reported %d times, want exactly once", jobs[i].Input, seen[jobs[i].Input])
+		}
+	}
+	var ok, skipped int
+	for i, res := range results {
+		switch ErrorClass(res.Err) {
+		case ClassOK:
+			ok++
+		case ClassCanceled:
+			skipped++
+			if res.Attempts != 0 {
+				t.Fatalf("skipped job %d reports %d attempts, want 0", i, res.Attempts)
+			}
+		default:
+			t.Fatalf("job %d has unexpected class %q (%v)", i, ErrorClass(res.Err), res.Err)
+		}
+	}
+	if ok < 3 || skipped == 0 {
+		t.Fatalf("ok = %d skipped = %d; cancel at done=3 should leave both kinds", ok, skipped)
+	}
+}

@@ -1,0 +1,23 @@
+package bench
+
+import "fmt"
+
+// Degraded-mode rendering: a partial sweep (canceled, or with failed jobs)
+// still produces every table. Cells whose simulations are missing print an
+// annotated placeholder carrying the error class instead of aborting table
+// generation, and aggregates computed from a strict subset of their inputs
+// are marked so a reader never mistakes a partial gmean for a complete one.
+
+// degradedCell renders one table cell: the value when its inputs are
+// complete, "value*" when the aggregate lost some inputs to errClass, and
+// a "!class" placeholder when nothing usable remains.
+func degradedCell(v float64, errClass string) string {
+	switch {
+	case errClass == "":
+		return fmt.Sprintf("%.2f", v)
+	case v == 0:
+		return "!" + errClass
+	default:
+		return fmt.Sprintf("%.2f*", v)
+	}
+}

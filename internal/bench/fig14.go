@@ -32,7 +32,10 @@ func (d *Fig13Data) Fig14App(app string) map[apps.SystemKind]CPIBreakdown {
 		}
 		staticCycles := float64(c.Outcomes[apps.StaticPipe].Cycles)
 		for _, kind := range apps.Kinds {
-			out := c.Outcomes[kind]
+			out, ok := c.Outcomes[kind]
+			if !ok {
+				continue // degraded sweep: this run is missing
+			}
 			b := acc[kind]
 			if b == nil {
 				b = &CPIBreakdown{}
@@ -79,7 +82,11 @@ func (d *Fig13Data) PrintFig14(w io.Writer, opt Options) {
 	for _, app := range opt.selected() {
 		bars := d.Fig14App(app)
 		for _, kind := range apps.Kinds {
-			b := bars[kind]
+			b, ok := bars[kind]
+			if !ok {
+				tbl.Add(app, kind.String(), "!missing", "!missing", "!missing", "!missing", "!missing", "!missing")
+				continue
+			}
 			tbl.Add(app, kind.String(),
 				fmt.Sprintf("%.2f", b.NormCycles),
 				fmt.Sprintf("%.2f", b.Issued*b.NormCycles),
@@ -109,10 +116,16 @@ func (d *Fig13Data) PrintFig15(w io.Writer, opt Options) {
 			if c.App != app {
 				continue
 			}
-			staticTotal += energy.Model(c.Outcomes[apps.StaticPipe].Counts).Total()
-			cnt++
+			if so, ok := c.Outcomes[apps.StaticPipe]; ok {
+				staticTotal += energy.Model(so.Counts).Total()
+				cnt++
+			}
 			for _, kind := range apps.Kinds {
-				e := energy.Model(c.Outcomes[kind].Counts)
+				out, ok := c.Outcomes[kind]
+				if !ok {
+					continue // degraded sweep: this run is missing
+				}
+				e := energy.Model(out.Counts)
 				a := sums[kind]
 				if a == nil {
 					a = &agg{}
@@ -125,12 +138,16 @@ func (d *Fig13Data) PrintFig15(w io.Writer, opt Options) {
 				a.n++
 			}
 		}
-		if cnt == 0 {
+		if cnt == 0 || staticTotal == 0 {
 			continue
 		}
 		norm := staticTotal / float64(cnt)
 		for _, kind := range apps.Kinds {
 			a := sums[kind]
+			if a == nil || a.n == 0 {
+				tbl.Add(app, kind.String(), "!missing", "!missing", "!missing", "!missing", "!missing")
+				continue
+			}
 			k := float64(a.n) * norm
 			tbl.Add(app, kind.String(),
 				fmt.Sprintf("%.2f", (a.b.Memory+a.b.Caches+a.b.Compute+a.b.Leakage)/k),

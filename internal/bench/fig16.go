@@ -11,12 +11,15 @@ import (
 
 // Fig16Point is one (app, scale-factor, double-buffering) measurement:
 // gmean speedup across inputs relative to the default configuration
-// (16 KB, double-buffered).
+// (16 KB, double-buffered). In a degraded sweep ErrClass carries the first
+// error class among the point's missing inputs; the gmean then covers only
+// the surviving inputs (and is 0 when none survive).
 type Fig16Point struct {
-	App     string
-	Factor  float64
-	Double  bool
-	Speedup float64
+	App      string
+	Factor   float64
+	Double   bool
+	Speedup  float64
+	ErrClass string
 }
 
 // Fig16Factors is the paper's queue-memory sweep (1x = 16 KB).
@@ -25,7 +28,8 @@ var Fig16Factors = []float64{0.25, 0.5, 1, 2, 4}
 // Fig16 sweeps per-PE queue memory and double-buffered configuration cells
 // on the Fifer system. Baseline and sweep jobs are enumerated together and
 // run on opt's worker pool; speedups are computed from the collected
-// results.
+// results. Failed or canceled jobs degrade their points (ErrClass) instead
+// of aborting the sweep.
 func Fig16(opt Options) ([]Fig16Point, error) {
 	type meta struct {
 		app, input     string
@@ -54,22 +58,22 @@ func Fig16(opt Options) ([]Fig16Point, error) {
 			}
 		}
 	}
-	results := opt.runner().Run(opt, jobs)
-	for i, res := range results {
-		if res.Err != nil {
-			m := metas[i]
-			if m.isBase {
-				return nil, fmt.Errorf("fig16 %s/%s base: %w", m.app, m.input, res.Err)
-			}
-			return nil, fmt.Errorf("fig16 %s/%s x%.2g db=%v: %w", m.app, m.input, m.factor, m.double, res.Err)
-		}
+	results := opt.runner("fig16").Run(opt, jobs)
+	if err := abortError(results); err != nil {
+		return nil, err
 	}
 
-	base := make(map[[2]string]uint64) // (app, input) -> baseline cycles
+	base := make(map[[2]string]uint64)    // (app, input) -> baseline cycles
+	baseErr := make(map[[2]string]string) // (app, input) -> baseline error class
 	for i, m := range metas {
-		if m.isBase {
-			base[[2]string{m.app, m.input}] = results[i].Outcome.Cycles
+		if !m.isBase {
+			continue
 		}
+		if err := results[i].Err; err != nil {
+			baseErr[[2]string{m.app, m.input}] = ErrorClass(err)
+			continue
+		}
+		base[[2]string{m.app, m.input}] = results[i].Outcome.Cycles
 	}
 	// Points keep the serial sweep's order: per app, factor-major then
 	// double-buffer, gmean across that app's inputs.
@@ -80,30 +84,48 @@ func Fig16(opt Options) ([]Fig16Point, error) {
 		double bool
 	}
 	speedups := map[ptKey][]float64{}
+	errCls := map[ptKey]string{}
 	for i, m := range metas {
 		if m.isBase {
 			continue
 		}
 		k := ptKey{m.app, m.factor, m.double}
-		speedups[k] = append(speedups[k],
-			float64(base[[2]string{m.app, m.input}])/float64(results[i].Outcome.Cycles))
+		in := [2]string{m.app, m.input}
+		switch {
+		case results[i].Err != nil:
+			if errCls[k] == "" {
+				errCls[k] = ErrorClass(results[i].Err)
+			}
+		case baseErr[in] != "":
+			// The sweep run succeeded but its normalization baseline is
+			// missing; the input drops out of this point's gmean.
+			if errCls[k] == "" {
+				errCls[k] = baseErr[in]
+			}
+		default:
+			speedups[k] = append(speedups[k], float64(base[in])/float64(results[i].Outcome.Cycles))
+		}
 	}
 	for _, app := range opt.selected() {
 		for _, factor := range Fig16Factors {
 			for _, double := range []bool{true, false} {
+				k := ptKey{app, factor, double}
 				points = append(points, Fig16Point{App: app, Factor: factor, Double: double,
-					Speedup: stats.GMean(speedups[ptKey{app, factor, double}])})
+					Speedup: stats.GMean(speedups[k]), ErrClass: errCls[k]})
 			}
 		}
 	}
 	return points, nil
 }
 
-// PrintFig16 renders the sweep as the paper's per-app series.
+// PrintFig16 renders the sweep as the paper's per-app series. Points with
+// missing inputs are annotated: "!class" when nothing survived, "value*"
+// when the gmean covers a strict subset of the inputs.
 func PrintFig16(w io.Writer, points []Fig16Point, opt Options) {
 	fmt.Fprintln(w, "Figure 16: Fifer speedup vs per-PE queue memory (1x = 16 KB), with and")
 	fmt.Fprintln(w, "without double-buffered configuration cells, relative to the 1x default")
 	tbl := stats.NewTable("app", "variant", "0.25x", "0.5x", "1x", "2x", "4x")
+	degraded := false
 	for _, app := range opt.selected() {
 		for _, double := range []bool{true, false} {
 			label := "double-buffered"
@@ -114,7 +136,10 @@ func PrintFig16(w io.Writer, points []Fig16Point, opt Options) {
 			for _, f := range Fig16Factors {
 				for _, pt := range points {
 					if pt.App == app && pt.Factor == f && pt.Double == double {
-						row = append(row, fmt.Sprintf("%.2f", pt.Speedup))
+						if pt.ErrClass != "" {
+							degraded = true
+						}
+						row = append(row, degradedCell(pt.Speedup, pt.ErrClass))
 					}
 				}
 			}
@@ -122,19 +147,26 @@ func PrintFig16(w io.Writer, points []Fig16Point, opt Options) {
 		}
 	}
 	fmt.Fprint(w, tbl)
+	if degraded {
+		fmt.Fprintln(w, "DEGRADED: some simulations are missing; !class cells have no data, * marks partial gmeans.")
+	}
 }
 
 // ZeroCostResult compares default Fifer to idealized zero-cost
-// reconfiguration (Sec. 8.3's final experiment).
+// reconfiguration (Sec. 8.3's final experiment). Failed counts (app, input)
+// pairs that could not contribute; ErrClass is the first error class seen.
 type ZeroCostResult struct {
-	GMean float64
-	Max   float64
-	Where string
+	GMean    float64
+	Max      float64
+	Where    string
+	Failed   int
+	ErrClass string
 }
 
 // ZeroCost measures the speedup of free reconfiguration over the default.
 // Jobs are enumerated in (default, idealized) pairs per (app, input) and
-// run on opt's worker pool.
+// run on opt's worker pool; failed pairs degrade the aggregate instead of
+// aborting it.
 func ZeroCost(opt Options) (ZeroCostResult, error) {
 	var res ZeroCostResult
 	var jobs []Job
@@ -145,13 +177,24 @@ func ZeroCost(opt Options) (ZeroCostResult, error) {
 				Override: func(cfg *core.Config) { cfg.ZeroCostReconfig = true }})
 		}
 	}
-	results := opt.runner().Run(opt, jobs)
-	if bad := firstError(results); bad != nil {
-		return res, bad.Err
+	results := opt.runner("zerocost").Run(opt, jobs)
+	if err := abortError(results); err != nil {
+		return res, err
 	}
 	var xs []float64
 	for i := 0; i < len(results); i += 2 {
 		base, ideal := results[i], results[i+1]
+		if base.Err != nil || ideal.Err != nil {
+			res.Failed++
+			if res.ErrClass == "" {
+				bad := base.Err
+				if bad == nil {
+					bad = ideal.Err
+				}
+				res.ErrClass = ErrorClass(bad)
+			}
+			continue
+		}
 		s := float64(base.Outcome.Cycles) / float64(ideal.Outcome.Cycles)
 		xs = append(xs, s)
 		if s > res.Max {
@@ -167,5 +210,9 @@ func PrintZeroCost(w io.Writer, r ZeroCostResult) {
 	fmt.Fprintln(w, "Sec. 8.3: idealized zero-cost reconfiguration vs Fifer")
 	fmt.Fprintf(w, "  gmean speedup %.2fx (paper: ~1.10x), max %.2fx at %s (paper: 1.8x on SpMM/Gr)\n",
 		r.GMean, r.Max, r.Where)
+	if r.Failed > 0 {
+		fmt.Fprintf(w, "  DEGRADED: %d input pair(s) missing (%s); the aggregate covers surviving pairs only.\n",
+			r.Failed, r.ErrClass)
+	}
 	fmt.Fprintln(w, "  Conclusion (paper): a poor tradeoff — too much complexity for limited benefit.")
 }

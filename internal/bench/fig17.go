@@ -10,16 +10,20 @@ import (
 
 // Fig17Row is one application's merged-stage comparison (Sec. 8.4):
 // gmean speedups across inputs, normalized to the fully decoupled static
-// pipeline.
+// pipeline. In a degraded sweep ErrClass carries the first error class
+// among the app's missing inputs and the gmeans cover surviving inputs.
 type Fig17Row struct {
 	App          string
 	MergedStatic float64
 	Fifer        float64
+	ErrClass     string
 }
 
 // Fig17 compares the fully decoupled static pipeline, the merged-stage
 // static pipeline, and Fifer. Jobs are enumerated as (decoupled, merged,
-// fifer) triples per (app, input) and run on opt's worker pool.
+// fifer) triples per (app, input) and run on opt's worker pool. An input
+// whose triple lost any simulation drops out of its app's gmeans instead
+// of aborting the sweep.
 func Fig17(opt Options) ([]Fig17Row, error) {
 	var jobs []Job
 	for _, app := range opt.selected() {
@@ -30,40 +34,51 @@ func Fig17(opt Options) ([]Fig17Row, error) {
 				Job{App: app, Input: input, Kind: apps.FiferPipe})
 		}
 	}
-	results := opt.runner().Run(opt, jobs)
-	if bad := firstError(results); bad != nil {
-		variant := "decoupled"
-		switch {
-		case bad.Job.Merged:
-			variant = "merged"
-		case bad.Job.Kind == apps.FiferPipe:
-			variant = "fifer"
-		}
-		return nil, fmt.Errorf("fig17 %s/%s %s: %w", bad.Job.App, bad.Job.Input, variant, bad.Err)
+	results := opt.runner("fig17").Run(opt, jobs)
+	if err := abortError(results); err != nil {
+		return nil, err
 	}
 	var rows []Fig17Row
 	i := 0
 	for _, app := range opt.selected() {
+		row := Fig17Row{App: app}
 		var merged, fifer []float64
 		for range InputsOf(app) {
-			base, m, f := results[i].Outcome, results[i+1].Outcome, results[i+2].Outcome
+			triple := results[i : i+3]
 			i += 3
+			if bad := firstError(triple); bad != nil {
+				if row.ErrClass == "" {
+					row.ErrClass = ErrorClass(bad.Err)
+				}
+				continue
+			}
+			base, m, f := triple[0].Outcome, triple[1].Outcome, triple[2].Outcome
 			merged = append(merged, float64(base.Cycles)/float64(m.Cycles))
 			fifer = append(fifer, float64(base.Cycles)/float64(f.Cycles))
 		}
-		rows = append(rows, Fig17Row{App: app, MergedStatic: stats.GMean(merged), Fifer: stats.GMean(fifer)})
+		row.MergedStatic = stats.GMean(merged)
+		row.Fifer = stats.GMean(fifer)
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
-// PrintFig17 renders the merged-stage comparison.
+// PrintFig17 renders the merged-stage comparison; degraded rows are
+// annotated with their error class.
 func PrintFig17(w io.Writer, rows []Fig17Row) {
 	fmt.Fprintln(w, "Figure 17: merged-stage pipelines, normalized to the fully decoupled static pipeline")
 	tbl := stats.NewTable("app", "fully-decoupled static", "merged static", "fifer")
+	degraded := false
 	for _, r := range rows {
-		tbl.Add(r.App, "1.00", fmt.Sprintf("%.2f", r.MergedStatic), fmt.Sprintf("%.2f", r.Fifer))
+		if r.ErrClass != "" {
+			degraded = true
+		}
+		tbl.Add(r.App, "1.00", degradedCell(r.MergedStatic, r.ErrClass), degradedCell(r.Fifer, r.ErrClass))
 	}
 	fmt.Fprint(w, tbl)
+	if degraded {
+		fmt.Fprintln(w, "DEGRADED: some simulations are missing; !class cells have no data, * marks partial gmeans.")
+	}
 	fmt.Fprintln(w, "\nPaper's reading: merging hurts BFS (4.4x slower static) and CC, slightly helps")
 	fmt.Fprintln(w, "PRD/Radii, and helps SpMM on sparse inputs; Silo degrades slightly.")
 }

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestInterruptResumeDeterminism is the crash-safety determinism pin: a
+// sweep interrupted after k completions and resumed from its journal must
+// render byte-identical tables to an uninterrupted run — for several
+// interrupt points and for both serial and parallel execution. It holds
+// because simulations are deterministic, outcomes round-trip JSON
+// losslessly, and the journal replays completed jobs in submission order.
+func TestInterruptResumeDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	baseOpt := Options{Scale: 0, Seed: 1, Apps: []string{"BFS"}}
+	base, err := Fig13(baseOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	base.Print(&want)
+
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		for _, k := range []int{3, 9} {
+			t.Run(fmt.Sprintf("j%d-k%d", workers, k), func(t *testing.T) {
+				path := filepath.Join(t.TempDir(), "journal.jsonl")
+
+				// Interrupted run: cancel the sweep after the k-th completion.
+				opt := baseOpt
+				opt.Jobs = workers
+				j, err := CreateJournal(path, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cancel := make(chan struct{})
+				var once sync.Once
+				opt.Cancel = cancel
+				opt.Journal = j
+				opt.Progress = func(done, total int, res JobResult) {
+					if done >= k {
+						once.Do(func() { close(cancel) })
+					}
+				}
+				interrupted, err := Fig13(opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := j.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if interrupted.Failed() == 0 {
+					// Every job beat the cancel (tiny sweep, many workers);
+					// the resume below degenerates to a full replay.
+					t.Logf("warning: nothing was canceled at k=%d with %d workers", k, workers)
+				}
+
+				// Resumed run: same workload options, fresh cancel-free pass.
+				opt2 := baseOpt
+				opt2.Jobs = workers
+				j2, err := ResumeJournal(path, opt2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if j2.Replayed() == 0 {
+					t.Fatal("resume replayed nothing; the interrupted run journaled no durable records")
+				}
+				opt2.Journal = j2
+				resumed, err := Fig13(opt2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := j2.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if resumed.Failed() != 0 {
+					t.Fatalf("resumed run still degraded: %d missing", resumed.Failed())
+				}
+
+				var got strings.Builder
+				resumed.Print(&got)
+				if got.String() != want.String() {
+					t.Fatalf("interrupt-at-%d + resume diverged from the uninterrupted run:\n--- uninterrupted\n%s\n--- resumed\n%s",
+						k, want.String(), got.String())
+				}
+			})
+		}
+	}
+}

@@ -150,10 +150,10 @@ func TestRunnerDefaultWorkers(t *testing.T) {
 // TestOptionsRunnerSerialDefault checks Options defaults to one worker so
 // library callers keep serial behavior unless they opt in.
 func TestOptionsRunnerSerialDefault(t *testing.T) {
-	if w := (Options{}).runner().Workers; w != 1 {
+	if w := (Options{}).runner("test").Workers; w != 1 {
 		t.Fatalf("default worker count = %d, want 1", w)
 	}
-	if w := (Options{Jobs: 6}).runner().Workers; w != 6 {
+	if w := (Options{Jobs: 6}).runner("test").Workers; w != 6 {
 		t.Fatalf("Jobs=6 worker count = %d, want 6", w)
 	}
 }

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled reports that a run was stopped through the cooperative
+// cancellation hook (Config.Done) before the program quiesced. The returned
+// error is a *CanceledError; errors.As exposes the cycle the run reached
+// and a blocked-state excerpt, so an interrupted sweep's logs still say
+// where each simulation was when it died.
+var ErrCanceled = errors.New("core: simulation canceled")
+
+// CanceledError carries where a canceled run stopped. It wraps ErrCanceled
+// so callers detect cancellation with errors.Is through any further
+// wrapping (the bench harness adds job identity on top).
+type CanceledError struct {
+	// Cycle is the simulated cycle at which Run observed the cancellation.
+	Cycle uint64
+	// Summary is a BlockedSummary excerpt taken at the stop point: wait-for
+	// edges plus a truncated state dump. A canceled run is often one the
+	// operator suspected of being stuck, so the error says what it was
+	// doing, not just that it stopped.
+	Summary string
+}
+
+// Error renders the headline, stop cycle, and state excerpt.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("%v at cycle %d\n%s", ErrCanceled, e.Cycle, e.Summary)
+}
+
+// Unwrap makes errors.Is(err, ErrCanceled) work through the report.
+func (e *CanceledError) Unwrap() error { return ErrCanceled }
+
+// canceledError builds the error Run returns when Cfg.Done is closed.
+func (s *System) canceledError() error {
+	return &CanceledError{
+		Cycle:   s.Cycle,
+		Summary: s.BlockedSummary(dumpExcerptLines),
+	}
+}
+
+// cancelInterval is how often Run polls Cfg.Done when the watchdog is
+// disabled: frequent enough that cancellation latency stays far below a
+// second of wall-clock, rare enough that the poll never shows up in a
+// profile.
+const cancelInterval = 65536

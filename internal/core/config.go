@@ -80,6 +80,16 @@ type Config struct {
 	// ErrInvariant on the first violation. 0 disables the audit. Like the
 	// watchdog it is read-only and cannot change simulation results.
 	AuditCycles uint64
+
+	// Done, when non-nil, is the cooperative cancellation hook: Run polls
+	// it at watchdog-checkpoint granularity (half the watchdog window, or
+	// every cancelInterval cycles when the watchdog is disabled) and stops
+	// with ErrCanceled — carrying the cycle count and a BlockedSummary
+	// excerpt — once the channel is closed. The hook only ends the run
+	// early; it never perturbs the cycles that did execute, so results are
+	// bit-identical whether Done is nil or non-nil-but-never-closed, and a
+	// nil Done costs a single predictable branch per checkpoint.
+	Done <-chan struct{}
 }
 
 // DefaultConfig returns the paper's 16-PE Fifer system.

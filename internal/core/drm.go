@@ -59,8 +59,10 @@ type DRM struct {
 	// (Sec. 5.5); it fires even for empty ranges so streams stay aligned.
 	boundary bool
 
-	inflight   []drmEntry
-	lastReady  uint64
+	inflight  []drmEntry
+	lastReady uint64
+	respExtra uint64 // fault injection: extra latency on every response
+
 	scanCur    mem.Addr // active scan cursor; scanEnd==0 means no active range
 	scanEnd    mem.Addr
 	stride     mem.Addr // byte stride for DRMStride mode
@@ -254,9 +256,25 @@ func (d *DRM) issue(now uint64) bool {
 }
 
 func (d *DRM) push(t queue.Token, ready uint64) {
+	ready += d.respExtra
 	if ready < d.lastReady {
 		ready = d.lastReady // in-order delivery
 	}
 	d.lastReady = ready
 	d.inflight = append(d.inflight, drmEntry{tok: t, ready: ready})
+}
+
+// FaultDelayResponses is a fault-injection hook (internal/faults): it pushes
+// the ready time of every in-flight access — and of all responses issued
+// afterwards — out by extra cycles, modeling a memory controller that stops
+// responding to this DRM. Detector: the progress watchdog, once the stalled
+// responses starve the downstream stage and traffic ceases. It returns the
+// number of in-flight accesses that were delayed.
+func (d *DRM) FaultDelayResponses(extra uint64) int {
+	for i := range d.inflight {
+		d.inflight[i].ready += extra
+	}
+	d.lastReady += extra
+	d.respExtra += extra
+	return len(d.inflight)
 }

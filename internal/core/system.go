@@ -130,10 +130,12 @@ type Result struct {
 
 // Run drives the system until the program reports completion. It fails with
 // ErrMaxCycles when Cfg.MaxCycles elapse first, with ErrDeadlock when the
-// progress watchdog sees no progress for Cfg.WatchdogCycles, and with
+// progress watchdog sees no progress for Cfg.WatchdogCycles, with
 // ErrInvariant when the live audit finds inconsistent state (including
 // queue-layer corruption panics, which are recovered here so a corrupted
-// simulation fails as one job instead of crashing the process).
+// simulation fails as one job instead of crashing the process), and with
+// ErrCanceled when Cfg.Done is closed (checked before the first cycle and
+// at watchdog-checkpoint granularity thereafter).
 func (s *System) Run(prog Program) (res Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -153,6 +155,20 @@ func (s *System) Run(prog Program) (res Result, err error) {
 	if s.Cfg.WatchdogCycles > 0 {
 		if wdInterval = s.Cfg.WatchdogCycles / 2; wdInterval == 0 {
 			wdInterval = 1
+		}
+	}
+	// Cancellation rides the watchdog's checkpoint cadence so it adds no
+	// per-cycle work of its own; with the watchdog disabled it falls back
+	// to a fixed polling interval.
+	var cancelEvery uint64
+	if s.Cfg.Done != nil {
+		if cancelEvery = wdInterval; cancelEvery == 0 {
+			cancelEvery = cancelInterval
+		}
+		select {
+		case <-s.Cfg.Done:
+			return res, s.canceledError()
+		default:
 		}
 	}
 	lastSig := s.progressSig()
@@ -184,6 +200,13 @@ func (s *System) Run(prog Program) (res Result, err error) {
 				break
 			}
 			res.Rounds++
+		}
+		if cancelEvery > 0 && s.Cycle%cancelEvery == 0 {
+			select {
+			case <-s.Cfg.Done:
+				return res, s.canceledError()
+			default:
+			}
 		}
 		if wdInterval > 0 && s.Cycle%wdInterval == 0 {
 			sig := s.progressSig()

@@ -212,6 +212,49 @@ func (f DelayedReconfig) Arm(sys *core.System) error {
 	return nil
 }
 
+// StalledDRM pushes every response of one decoupled reference machine —
+// in flight and issued afterwards — out by Extra cycles from cycle At
+// onward: the model of a memory controller that stops answering one
+// client. Detector: the progress watchdog (the DRM's accesses sit in
+// flight forever, its consumers starve, and upstream stages back up behind
+// its address queue).
+type StalledDRM struct {
+	PE    int
+	DRM   int
+	Extra uint64
+	At    uint64
+}
+
+// Name implements Injector.
+func (f StalledDRM) Name() string {
+	return fmt.Sprintf("stalled-drm(pe%d/drm%d +%d @%d)", f.PE, f.DRM, f.Extra, f.At)
+}
+
+// Arm hooks the stall; it fires once at cycle At and the delay sticks to
+// every response issued from then on.
+func (f StalledDRM) Arm(sys *core.System) error {
+	if f.PE < 0 || f.PE >= len(sys.PEs) {
+		return fmt.Errorf("no pe%d in a %d-PE system", f.PE, len(sys.PEs))
+	}
+	pe := sys.PE(f.PE)
+	if f.DRM < 0 || f.DRM >= len(pe.DRMs) {
+		return fmt.Errorf("pe%d has no drm%d", f.PE, f.DRM)
+	}
+	if f.Extra == 0 {
+		return fmt.Errorf("nothing to stall (Extra=0)")
+	}
+	d := pe.DRM(f.DRM)
+	done := false
+	sys.OnCycle(func(_ *core.System, now uint64) {
+		if done || now < f.At {
+			return
+		}
+		done = true
+		d.FaultDelayResponses(f.Extra)
+	})
+	return nil
+}
+
 // arbiterAt fetches the i-th inter-PE arbiter with bounds checking.
 func arbiterAt(sys *core.System, i int) (*queue.Arbiter, error) {
 	arbs := sys.Arbiters()

@@ -8,6 +8,7 @@ import (
 	"fifer/internal/cgra"
 	"fifer/internal/core"
 	"fifer/internal/faults"
+	"fifer/internal/mem"
 	"fifer/internal/queue"
 	"fifer/internal/stage"
 )
@@ -234,6 +235,66 @@ func TestDelayedReconfigTripsWatchdog(t *testing.T) {
 	}
 }
 
+// TestStalledDRMTripsWatchdog freezes a DRM's memory responses mid-run and
+// checks the watchdog converts the starvation into ErrDeadlock whose
+// wait-for summary names the starved DRM (waiting on memory) and the
+// feeder stage backed up behind its address queue.
+func TestStalledDRMTripsWatchdog(t *testing.T) {
+	cfg := testConfig(1)
+	sys := core.NewSystem(cfg)
+	pe := sys.PE(0)
+	arr := make([]uint64, 256)
+	for i := range arr {
+		arr[i] = uint64(i)
+	}
+	base := sys.Backing.AllocSlice(arr)
+	addrs := pe.AllocQueue("addrs", 512)
+	vals := pe.AllocQueue("vals", 16)
+	d := pe.DRM(0)
+	d.Configure(core.DRMDereference, stage.LocalPort{Q: vals})
+	pe.AddStage(passStage("feed", stage.LocalPort{Q: addrs}, d.InPort()))
+	pe.AddStage(sinkStage("sink", stage.LocalPort{Q: vals}))
+	for i := range arr {
+		addrs.Enq(queue.Data(uint64(base) + uint64(i*mem.WordBytes)))
+	}
+
+	const at = 100
+	plan := faults.NewPlan(5)
+	plan.Add(faults.StalledDRM{PE: 0, DRM: 0, Extra: 10_000_000, At: at})
+	if err := plan.Arm(sys); err != nil {
+		t.Fatal(err)
+	}
+
+	err := runToFailure(t, sys)
+	if !errors.Is(err, core.ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	var de *core.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err chain %v carries no *DeadlockError", err)
+	}
+	var starved, backedUp bool
+	for _, e := range de.Report.WaitFor {
+		if strings.Contains(e.Waiter, "drm0") && e.WaitsOn == "memory" {
+			starved = true
+		}
+		if strings.Contains(e.Waiter, "feed") {
+			backedUp = true
+		}
+	}
+	if !starved {
+		t.Fatalf("wait-for summary %v does not show the DRM starved on memory", de.Report.WaitFor)
+	}
+	if !backedUp {
+		t.Fatalf("wait-for summary %v does not show the feeder backed up", de.Report.WaitFor)
+	}
+	// The responses are stalled for 10M cycles; detection must come from
+	// the watchdog window, not from waiting the stall out.
+	if sys.Cycle > at+3*cfg.WatchdogCycles+1000 {
+		t.Fatalf("detected at cycle %d, want within a few windows of trigger %d", sys.Cycle, at)
+	}
+}
+
 // TestPlanDeterminism runs the same seeded fault plan against two identical
 // systems and checks the failure reproduces bit-identically: same detection
 // cycle, same error text.
@@ -273,6 +334,9 @@ func TestArmRejectsBadTargets(t *testing.T) {
 		faults.WithheldCredits{Arbiter: 0, N: 1},
 		faults.DroppedGrant{Arbiter: 2},
 		faults.DelayedReconfig{PE: -1},
+		faults.StalledDRM{PE: 3, DRM: 0, Extra: 1},
+		faults.StalledDRM{PE: 0, DRM: 9, Extra: 1},
+		faults.StalledDRM{PE: 0, DRM: 0, Extra: 0},
 	} {
 		err := faults.NewPlan(0).Add(inj).Arm(sys)
 		if err == nil {
