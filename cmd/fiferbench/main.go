@@ -20,6 +20,13 @@
 // mechanisms only observe the simulation, so results are identical at any
 // setting; 0 keeps the config defaults, -1 disables.
 //
+// Observability: -trace FILE writes every CGRA simulation's event stream as
+// one Chrome/Perfetto trace-event JSON document (load it in a trace viewer
+// or summarize it with fifertrace); -metrics FILE writes periodic per-PE
+// CPI-stack/occupancy samples (JSONL, or CSV when FILE ends in .csv);
+// -sample N sets the sample period in cycles. Tracing only observes the
+// simulation — every table stays byte-identical with or without it.
+//
 // Crash-safe sweeps: -journal FILE appends every finished job to a
 // checksummed JSONL journal; -resume (with the same -journal and workload
 // flags) replays the completed jobs and runs only the remainder, producing
@@ -33,6 +40,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -58,6 +66,9 @@ func fiferbench() int {
 	resume := flag.Bool("resume", false, "resume from the -journal file: replay completed jobs, run only the remainder")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock deadline, e.g. 90s (0 = none)")
 	retries := flag.Int("retries", 0, "times a transiently-failed job (panic, cycle budget) is retried")
+	tracePath := flag.String("trace", "", "write per-simulation event traces to this Chrome/Perfetto JSON file")
+	metricsPath := flag.String("metrics", "", "write periodic per-PE metrics samples to this file (.csv extension = CSV, else JSONL)")
+	sample := flag.Uint64("sample", 0, "metrics sample period in cycles (0 = default 4096)")
 	flag.Parse()
 
 	opt := bench.Options{Scale: *scale, Seed: *seed, Jobs: *jobs,
@@ -65,6 +76,11 @@ func fiferbench() int {
 		JobTimeout: *jobTimeout, Retries: *retries}
 	if *appsFlag != "" {
 		opt.Apps = strings.Split(*appsFlag, ",")
+	}
+	var sink *bench.TraceSink
+	if *tracePath != "" || *metricsPath != "" {
+		sink = bench.NewTraceSink(*sample)
+		opt.Trace = sink
 	}
 
 	var journal *bench.Journal
@@ -220,6 +236,35 @@ func fiferbench() int {
 		return nil
 	})
 
+	// Observability exports: written even after a partial (interrupted or
+	// failed) sweep, since a trace of what did run is exactly what a
+	// post-mortem wants.
+	if sink != nil {
+		if *tracePath != "" {
+			if err := writeFileWith(*tracePath, sink.WriteTrace); err != nil {
+				fmt.Fprintf(os.Stderr, "fiferbench: trace: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}
+		if *metricsPath != "" {
+			writeMetrics := sink.WriteMetricsJSONL
+			if strings.HasSuffix(*metricsPath, ".csv") {
+				writeMetrics = sink.WriteMetricsCSV
+			}
+			if err := writeFileWith(*metricsPath, writeMetrics); err != nil {
+				fmt.Fprintf(os.Stderr, "fiferbench: metrics: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}
+		if n := sink.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "fiferbench: trace ring overflowed: %d oldest event(s) dropped — the trace holds each run's suffix\n", n)
+		}
+	}
+
 	if err := journal.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "fiferbench: journal: %v\n", err)
 		if code == 0 {
@@ -246,4 +291,19 @@ func fiferbench() int {
 		}
 	}
 	return code
+}
+
+// writeFileWith creates path and streams write into it, reporting either
+// the writer's or the file's first error.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }

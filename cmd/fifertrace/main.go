@@ -1,0 +1,112 @@
+// Command fifertrace summarizes trace and metrics files produced by
+// fiferbench's observability flags.
+//
+// Usage:
+//
+//	fifertrace trace.json                  # summarize every job in the trace
+//	fifertrace -job BFS trace.json         # only jobs whose key contains "BFS"
+//	fifertrace -top 5 trace.json           # widen/narrow the top-N tables
+//	fifertrace -metrics metrics.jsonl trace.json
+//
+// For each job the summary reports, from the event stream alone:
+//
+//   - top stall sources: per-queue back-pressure, from matched
+//     queue-full → queue-ready edge pairs (episode count, total stalled
+//     cycles, longest episode);
+//   - a reconfiguration histogram: per-PE reconfig-begin → reconfig-end
+//     pairs bucketed by power-of-two duration;
+//   - per-stage residency: how long each configuration stayed on its PE
+//     between consecutive stage switches;
+//   - DRM and credit traffic totals.
+//
+// With -metrics it also folds the sampled per-PE CPI stacks into a
+// whole-run breakdown per job.
+//
+// Traces whose ring overflowed are summarized from the surviving suffix:
+// unmatched leading/trailing edges are tolerated and reported, never
+// fatal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fifer/internal/trace"
+)
+
+func main() { os.Exit(fifertrace(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func fifertrace(args []string, out, errw *os.File) int {
+	fs := flag.NewFlagSet("fifertrace", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	job := fs.String("job", "", "only summarize jobs whose key contains this substring")
+	top := fs.Int("top", 8, "rows in the top-N tables")
+	metricsPath := fs.String("metrics", "", "also summarize this metrics JSONL file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(errw, "usage: fifertrace [-job SUBSTR] [-top N] [-metrics FILE] trace.json")
+		return 2
+	}
+
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(errw, "fifertrace: %v\n", err)
+		return 1
+	}
+	jobs, err := trace.ReadChrome(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(errw, "fifertrace: %v\n", err)
+		return 1
+	}
+
+	var metrics []trace.JobMetrics
+	if *metricsPath != "" {
+		mf, err := os.Open(*metricsPath)
+		if err != nil {
+			fmt.Fprintf(errw, "fifertrace: %v\n", err)
+			return 1
+		}
+		metrics, err = trace.ReadMetricsJSONL(mf)
+		mf.Close()
+		if err != nil {
+			fmt.Fprintf(errw, "fifertrace: %v\n", err)
+			return 1
+		}
+	}
+	metricsOf := func(name string) []trace.MetricsRow {
+		for _, m := range metrics {
+			if m.Name == name {
+				return m.Rows
+			}
+		}
+		return nil
+	}
+
+	matched := 0
+	for _, jt := range jobs {
+		if *job != "" && !strings.Contains(jt.Name, *job) {
+			continue
+		}
+		matched++
+		s := summarize(jt)
+		s.print(out, *top)
+		if rows := metricsOf(jt.Name); rows != nil {
+			printMetricsSummary(out, rows)
+		}
+		fmt.Fprintln(out)
+	}
+	if matched == 0 {
+		if *job != "" {
+			fmt.Fprintf(errw, "fifertrace: no job matching %q (trace has %d)\n", *job, len(jobs))
+		} else {
+			fmt.Fprintln(errw, "fifertrace: trace contains no jobs")
+		}
+		return 1
+	}
+	return 0
+}

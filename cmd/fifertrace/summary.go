@@ -1,0 +1,284 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+
+	"fifer/internal/trace"
+)
+
+// summary is one job's digested event stream. All pairing (queue edges,
+// reconfig begin/end, consecutive stage switches) tolerates unmatched
+// leading and trailing events, because a ring-overflowed trace is the
+// run's suffix and ends mid-flight.
+type summary struct {
+	name         string
+	events       int
+	firstCycle   uint64
+	lastCycle    uint64
+	stalls       []stallSource
+	openStalls   int // queue-full edges still open at end of trace
+	orphanReady  int // queue-ready edges with no visible matching full
+	reconfigs    int
+	orphanBegins int         // reconfig-begin with no visible end (or vice versa)
+	reconfigHist map[int]int // power-of-2 bucket (floor log2 duration) -> count
+	residency    []stageResidency
+	drmIssues    uint64
+	drmResponses uint64
+	creditGrants uint64
+	creditRtns   uint64
+	checkpoints  int
+}
+
+// stallSource is one queue's aggregated back-pressure.
+type stallSource struct {
+	queue    string
+	episodes int
+	cycles   uint64 // total full→ready duration
+	longest  uint64
+}
+
+// stageResidency is one stage's total fabric occupancy on one PE.
+type stageResidency struct {
+	pe       int
+	stage    string
+	switches int
+	cycles   uint64 // cycles between its activations and the next switch
+}
+
+// summarize digests one job's event stream.
+func summarize(jt trace.JobTrace) *summary {
+	s := &summary{name: jt.Name, events: len(jt.Events), reconfigHist: map[int]int{}}
+	if len(jt.Events) > 0 {
+		s.firstCycle = jt.Events[0].Cycle
+		s.lastCycle = jt.Events[len(jt.Events)-1].Cycle
+	}
+
+	type key struct {
+		pe   int
+		name string
+	}
+	fullSince := map[key]uint64{}  // open queue-full edges
+	beginAt := map[int]uint64{}    // open reconfig-begin per PE
+	lastSwitch := map[int]struct { // previous stage-switch per PE
+		stage string
+		cycle uint64
+	}{}
+	stalls := map[string]*stallSource{}
+	res := map[key]*stageResidency{}
+
+	endResidency := func(pe int, now uint64) {
+		prev, ok := lastSwitch[pe]
+		if !ok {
+			return
+		}
+		k := key{pe, prev.stage}
+		r := res[k]
+		if r == nil {
+			r = &stageResidency{pe: pe, stage: prev.stage}
+			res[k] = r
+		}
+		r.switches++
+		r.cycles += now - prev.cycle
+	}
+
+	for _, e := range jt.Events {
+		switch e.Kind {
+		case trace.KindQueueFull:
+			fullSince[key{e.PE, e.Name}] = e.Cycle
+		case trace.KindQueueReady:
+			k := key{e.PE, e.Name}
+			since, ok := fullSince[k]
+			if !ok {
+				s.orphanReady++
+				break
+			}
+			delete(fullSince, k)
+			src := stalls[e.Name]
+			if src == nil {
+				src = &stallSource{queue: e.Name}
+				stalls[e.Name] = src
+			}
+			d := e.Cycle - since
+			src.episodes++
+			src.cycles += d
+			if d > src.longest {
+				src.longest = d
+			}
+		case trace.KindReconfigBegin:
+			if _, open := beginAt[e.PE]; open {
+				s.orphanBegins++
+			}
+			beginAt[e.PE] = e.Cycle
+		case trace.KindReconfigEnd:
+			since, ok := beginAt[e.PE]
+			if !ok {
+				s.orphanBegins++
+				break
+			}
+			delete(beginAt, e.PE)
+			s.reconfigs++
+			s.reconfigHist[log2Bucket(e.Cycle-since)]++
+		case trace.KindStageSwitch:
+			endResidency(e.PE, e.Cycle)
+			lastSwitch[e.PE] = struct {
+				stage string
+				cycle uint64
+			}{e.Name, e.Cycle}
+		case trace.KindDRMIssue:
+			s.drmIssues++
+		case trace.KindDRMResponse:
+			s.drmResponses++
+		case trace.KindCreditGrant:
+			s.creditGrants++
+		case trace.KindCreditReturn:
+			s.creditRtns++
+		case trace.KindCheckpoint:
+			s.checkpoints++
+		}
+	}
+
+	// Close what is still open at the end of the trace against the last
+	// cycle, so a run that ends back-pressured still shows the stall.
+	for k, since := range fullSince {
+		src := stalls[k.name]
+		if src == nil {
+			src = &stallSource{queue: k.name}
+			stalls[k.name] = src
+		}
+		d := s.lastCycle - since
+		src.episodes++
+		src.cycles += d
+		if d > src.longest {
+			src.longest = d
+		}
+		s.openStalls++
+	}
+	for pe := range lastSwitch {
+		endResidency(pe, s.lastCycle)
+	}
+	s.orphanBegins += len(beginAt)
+
+	for _, src := range stalls {
+		s.stalls = append(s.stalls, *src)
+	}
+	sort.Slice(s.stalls, func(i, j int) bool {
+		a, b := s.stalls[i], s.stalls[j]
+		if a.cycles != b.cycles {
+			return a.cycles > b.cycles
+		}
+		return a.queue < b.queue
+	})
+	for _, r := range res {
+		s.residency = append(s.residency, *r)
+	}
+	sort.Slice(s.residency, func(i, j int) bool {
+		a, b := s.residency[i], s.residency[j]
+		if a.cycles != b.cycles {
+			return a.cycles > b.cycles
+		}
+		if a.pe != b.pe {
+			return a.pe < b.pe
+		}
+		return a.stage < b.stage
+	})
+	return s
+}
+
+// log2Bucket maps a duration to its power-of-two histogram bucket: bucket b
+// holds durations in [2^b, 2^(b+1)); duration 0 lands in bucket 0 with 1.
+func log2Bucket(d uint64) int {
+	if d < 2 {
+		return 0
+	}
+	return 63 - bits.LeadingZeros64(d)
+}
+
+func (s *summary) print(w io.Writer, top int) {
+	fmt.Fprintf(w, "==== %s ====\n", s.name)
+	fmt.Fprintf(w, "events %d  cycles [%d, %d]\n", s.events, s.firstCycle, s.lastCycle)
+
+	fmt.Fprintf(w, "top stall sources (queue back-pressure):\n")
+	if len(s.stalls) == 0 {
+		fmt.Fprintf(w, "  none\n")
+	}
+	for i, src := range s.stalls {
+		if i >= top {
+			fmt.Fprintf(w, "  ... and %d more queue(s)\n", len(s.stalls)-top)
+			break
+		}
+		fmt.Fprintf(w, "  %-28s %6d episode(s) %10d cycle(s) stalled  longest %d\n",
+			src.queue, src.episodes, src.cycles, src.longest)
+	}
+	if s.openStalls > 0 || s.orphanReady > 0 {
+		fmt.Fprintf(w, "  (%d still full at end of trace, %d unmatched ready edge(s) from ring drop)\n",
+			s.openStalls, s.orphanReady)
+	}
+
+	fmt.Fprintf(w, "reconfigurations: %d\n", s.reconfigs)
+	var buckets []int
+	for b := range s.reconfigHist {
+		buckets = append(buckets, b)
+	}
+	sort.Ints(buckets)
+	for _, b := range buckets {
+		fmt.Fprintf(w, "  %4d-%4d cycles: %d\n", 1<<b, 1<<(b+1)-1, s.reconfigHist[b])
+	}
+	if s.orphanBegins > 0 {
+		fmt.Fprintf(w, "  (%d unmatched begin/end edge(s) from ring drop)\n", s.orphanBegins)
+	}
+
+	fmt.Fprintf(w, "per-stage residency:\n")
+	if len(s.residency) == 0 {
+		fmt.Fprintf(w, "  none\n")
+	}
+	for i, r := range s.residency {
+		if i >= top {
+			fmt.Fprintf(w, "  ... and %d more stage(s)\n", len(s.residency)-top)
+			break
+		}
+		fmt.Fprintf(w, "  pe%-3d %-24s %6d switch(es) %10d cycle(s) resident\n",
+			r.pe, r.stage, r.switches, r.cycles)
+	}
+
+	fmt.Fprintf(w, "drm: %d issue(s), %d response(s); credits: %d grant(s), %d return(s); watchdog checkpoints: %d\n",
+		s.drmIssues, s.drmResponses, s.creditGrants, s.creditRtns, s.checkpoints)
+}
+
+// printMetricsSummary folds a job's sampled per-PE CPI-stack deltas into a
+// whole-run breakdown.
+func printMetricsSummary(w io.Writer, rows []trace.MetricsRow) {
+	type acc struct{ issued, stall, queue, reconfig, idle, total uint64 }
+	per := map[int]*acc{}
+	var pes []int
+	for _, r := range rows {
+		a := per[r.PE]
+		if a == nil {
+			a = &acc{}
+			per[r.PE] = a
+			pes = append(pes, r.PE)
+		}
+		a.issued += r.Issued
+		a.stall += r.Stall
+		a.queue += r.Queue
+		a.reconfig += r.Reconfig
+		a.idle += r.Idle
+		a.total += r.Total()
+	}
+	sort.Ints(pes)
+	fmt.Fprintf(w, "sampled CPI stacks (%% of cycles):\n")
+	pct := func(n, d uint64) float64 {
+		if d == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(d)
+	}
+	for _, pe := range pes {
+		a := per[pe]
+		fmt.Fprintf(w, "  pe%-3d issued %5.1f  stall %5.1f  queue %5.1f  reconfig %5.1f  idle %5.1f  (%d cycles)\n",
+			pe, pct(a.issued, a.total), pct(a.stall, a.total), pct(a.queue, a.total),
+			pct(a.reconfig, a.total), pct(a.idle, a.total), a.total)
+	}
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"fifer/internal/trace"
+)
+
+// fixtureTrace hand-builds a stream whose summary is computable by eye:
+// two stall episodes on one queue (4 + 6 cycles) and an open one on
+// another, two complete reconfigurations (durations 10 and 130) plus one
+// orphan begin, three stage switches on one PE, and a leading orphan ready
+// edge as a ring drop would leave behind.
+func fixtureTrace() trace.JobTrace {
+	return trace.JobTrace{Name: "TEST/in fifer-16pe", Events: []trace.Event{
+		{Cycle: 0, PE: 1, Kind: trace.KindQueueReady, Name: "dropped.q"}, // orphan from ring drop
+		{Cycle: 5, PE: 0, Kind: trace.KindStageSwitch, Name: "stage.a", Arg: 0},
+		{Cycle: 10, PE: 0, Kind: trace.KindQueueFull, Name: "pe0.q1"},
+		{Cycle: 14, PE: 0, Kind: trace.KindQueueReady, Name: "pe0.q1"},
+		{Cycle: 20, PE: 0, Kind: trace.KindReconfigBegin, Name: "stage.b", Arg: 10},
+		{Cycle: 30, PE: 0, Kind: trace.KindReconfigEnd, Name: "stage.b", Arg: 1},
+		{Cycle: 30, PE: 0, Kind: trace.KindStageSwitch, Name: "stage.b", Arg: 1},
+		{Cycle: 40, PE: 0, Kind: trace.KindQueueFull, Name: "pe0.q1"},
+		{Cycle: 46, PE: 0, Kind: trace.KindQueueReady, Name: "pe0.q1"},
+		{Cycle: 50, PE: 1, Kind: trace.KindDRMIssue, Name: "pe1.drm0", Arg: 64},
+		{Cycle: 60, PE: 1, Kind: trace.KindDRMResponse, Name: "pe1.drm0", Arg: 7},
+		{Cycle: 70, PE: 0, Kind: trace.KindReconfigBegin, Name: "stage.a", Arg: 130},
+		{Cycle: 200, PE: 0, Kind: trace.KindReconfigEnd, Name: "stage.a", Arg: 0},
+		{Cycle: 200, PE: 0, Kind: trace.KindStageSwitch, Name: "stage.a", Arg: 0},
+		{Cycle: 210, PE: 1, Kind: trace.KindQueueFull, Name: "pe1.q2"},              // open at end
+		{Cycle: 220, PE: 0, Kind: trace.KindReconfigBegin, Name: "stage.b", Arg: 5}, // orphan
+		{Cycle: 230, PE: -1, Kind: trace.KindCheckpoint, Name: "watchdog", Arg: 9},
+	}}
+}
+
+func TestSummarize(t *testing.T) {
+	s := summarize(fixtureTrace())
+
+	if s.events != 17 || s.firstCycle != 0 || s.lastCycle != 230 {
+		t.Fatalf("header: events=%d cycles=[%d,%d]", s.events, s.firstCycle, s.lastCycle)
+	}
+	if s.orphanReady != 1 {
+		t.Errorf("orphanReady = %d, want 1", s.orphanReady)
+	}
+
+	if len(s.stalls) != 2 {
+		t.Fatalf("stall sources = %d, want 2 (%+v)", len(s.stalls), s.stalls)
+	}
+	// pe1.q2's open episode closes against lastCycle: 230-210 = 20, ranking
+	// it above pe0.q1's 4+6 = 10.
+	if s.stalls[0].queue != "pe1.q2" || s.stalls[0].cycles != 20 || s.stalls[0].episodes != 1 {
+		t.Errorf("top stall = %+v, want pe1.q2 with 20 cycles", s.stalls[0])
+	}
+	if s.stalls[1].queue != "pe0.q1" || s.stalls[1].cycles != 10 || s.stalls[1].episodes != 2 || s.stalls[1].longest != 6 {
+		t.Errorf("second stall = %+v, want pe0.q1 10 cycles over 2 episodes, longest 6", s.stalls[1])
+	}
+	if s.openStalls != 1 {
+		t.Errorf("openStalls = %d, want 1", s.openStalls)
+	}
+
+	if s.reconfigs != 2 || s.orphanBegins != 1 {
+		t.Errorf("reconfigs = %d (orphans %d), want 2 (1)", s.reconfigs, s.orphanBegins)
+	}
+	// Durations 10 and 130 land in power-of-two buckets [8,16) and [128,256).
+	if s.reconfigHist[3] != 1 || s.reconfigHist[7] != 1 {
+		t.Errorf("histogram = %v, want one in bucket 3 and one in bucket 7", s.reconfigHist)
+	}
+
+	// stage.a resident [5,30) and [200,230) = 55; stage.b resident [30,200) = 170.
+	if len(s.residency) != 2 {
+		t.Fatalf("residency rows = %d, want 2 (%+v)", len(s.residency), s.residency)
+	}
+	if r := s.residency[0]; r.stage != "stage.b" || r.cycles != 170 || r.switches != 1 {
+		t.Errorf("top residency = %+v, want stage.b 170 cycles", r)
+	}
+	if r := s.residency[1]; r.stage != "stage.a" || r.cycles != 55 || r.switches != 2 {
+		t.Errorf("second residency = %+v, want stage.a 55 cycles over 2 switches", r)
+	}
+
+	if s.drmIssues != 1 || s.drmResponses != 1 || s.checkpoints != 1 {
+		t.Errorf("drm/checkpoint totals: %d/%d/%d", s.drmIssues, s.drmResponses, s.checkpoints)
+	}
+}
+
+func TestLog2Bucket(t *testing.T) {
+	for d, want := range map[uint64]int{0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 15: 3, 128: 7, 255: 7, 1 << 20: 20} {
+		if got := log2Bucket(d); got != want {
+			t.Errorf("log2Bucket(%d) = %d, want %d", d, got, want)
+		}
+	}
+}
+
+// TestPrintIncludesRingDropNotes pins that a summary of a truncated trace
+// tells the reader its pairings are partial instead of presenting them as
+// whole-run truth.
+func TestPrintIncludesRingDropNotes(t *testing.T) {
+	var b strings.Builder
+	summarize(fixtureTrace()).print(&b, 8)
+	out := b.String()
+	for _, want := range []string{
+		"==== TEST/in fifer-16pe ====",
+		"pe1.q2",
+		"unmatched ready edge(s)",
+		"unmatched begin/end edge(s)",
+		"reconfigurations: 2",
+		"stage.b",
+		"watchdog checkpoints: 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsSummaryPercentages(t *testing.T) {
+	var b strings.Builder
+	printMetricsSummary(&b, []trace.MetricsRow{
+		{Cycle: 100, PE: 0, Issued: 50, Stall: 25, Queue: 25},
+		{Cycle: 200, PE: 0, Issued: 100},
+		{Cycle: 100, PE: 1, Idle: 100},
+	})
+	out := b.String()
+	// PE0: 150 issued of 200 = 75%; PE1: 100% idle.
+	if !strings.Contains(out, "pe0   issued  75.0") {
+		t.Errorf("pe0 issued percentage wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "idle 100.0") {
+		t.Errorf("pe1 idle percentage wrong:\n%s", out)
+	}
+}

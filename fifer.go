@@ -25,6 +25,7 @@ import (
 	"fifer/internal/bench"
 	"fifer/internal/core"
 	"fifer/internal/energy"
+	"fifer/internal/trace"
 )
 
 // SystemKind selects one of the paper's four evaluated systems.
@@ -123,6 +124,54 @@ func ResumeJournal(path string, opt Options) (*Journal, error) {
 
 // Config is the CGRA-system configuration (Table 2 plus Fifer mechanisms).
 type Config = core.Config
+
+// Observability (DESIGN.md §9): typed event tracing and periodic metrics
+// sampling with zero overhead when disabled, and bit-identical results when
+// enabled.
+
+// TraceEvent is one typed simulation event (cycle, PE, kind, component,
+// payload) as emitted through Config.Tracer.
+type TraceEvent = trace.Event
+
+// TraceKind identifies a simulation event's type; see the trace package for
+// the taxonomy (stage switches, reconfigurations, queue stall edges, DRM
+// traffic, credits, watchdog checkpoints).
+type TraceKind = trace.Kind
+
+// Tracer receives events from a simulation (Config.Tracer). A nil Tracer —
+// the default — costs one branch per potential event and no allocations.
+type Tracer = trace.Tracer
+
+// MetricsRow is one periodic per-PE sample: CPI-stack deltas over the
+// window plus queue-occupancy and DRM-inflight gauges (Config.Metrics).
+type MetricsRow = trace.MetricsRow
+
+// Collector is the standard in-memory Tracer and MetricsSink: a
+// fixed-capacity event ring with flight-recorder semantics plus a metrics
+// log. Attach one to a single run via the Config override:
+//
+//	col := fifer.NewCollector(0)
+//	out, _ := fifer.RunApp("BFS", "Hu", fifer.FiferPipe, opt, func(cfg *fifer.Config) {
+//		cfg.Tracer, cfg.Metrics = col, col
+//	})
+type Collector = trace.Collector
+
+// NewCollector returns a Collector with the given event-ring capacity
+// (<= 0 selects the 1M-event default).
+func NewCollector(capEvents int) *Collector { return trace.NewCollector(capEvents) }
+
+// TraceSink collects traces and metrics for every simulation in a sweep
+// (Options.Trace); its Write* methods export the Chrome/Perfetto trace JSON
+// and metrics JSONL/CSV files that cmd/fifertrace summarizes.
+type TraceSink = bench.TraceSink
+
+// NewTraceSink returns a sweep-wide trace sink sampling metrics every
+// sampleCycles cycles (0 selects the 4096-cycle default).
+func NewTraceSink(sampleCycles uint64) *TraceSink { return bench.NewTraceSink(sampleCycles) }
+
+// WriteTrace exports per-job event streams as one Chrome trace-event JSON
+// document that Perfetto and chrome://tracing load directly.
+func WriteTrace(w io.Writer, jobs []trace.JobTrace) error { return trace.WriteChrome(w, jobs) }
 
 // DefaultConfig returns the paper's 16-PE Fifer system; StaticConfig the
 // static-spatial-pipeline baseline.

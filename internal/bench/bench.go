@@ -20,6 +20,7 @@ import (
 	"fifer/internal/core"
 	"fifer/internal/graph"
 	"fifer/internal/sparse"
+	"fifer/internal/trace"
 )
 
 // Options selects the workload size for all experiments.
@@ -75,6 +76,12 @@ type Options struct {
 	// Journal, when non-nil, records every finished job durably and replays
 	// journaled results on a resumed sweep. See CreateJournal/ResumeJournal.
 	Journal *Journal
+
+	// Trace, when non-nil, attaches an event collector and metrics sampler
+	// to every CGRA simulation the sweep runs; see TraceSink. Applied before
+	// the per-job Override, so an override that sets Config.Tracer (or
+	// Metrics/MetricsCycles) wins.
+	Trace *TraceSink
 }
 
 // DefaultOptions returns the standard harness configuration.
@@ -128,6 +135,14 @@ var ErrCycleBudget = errors.New("bench: simulation cycle budget exhausted (raise
 // callers can intentionally raise (or lower) the budget. If the budget is
 // exhausted the returned error wraps ErrCycleBudget.
 func RunOne(app, input string, kind apps.SystemKind, merged bool, opt Options, override func(*core.Config)) (apps.Outcome, error) {
+	var col *trace.Collector
+	if opt.Trace != nil {
+		n := opt.Trace.BufEvents
+		if n <= 0 {
+			n = trace.DefaultBufEvents
+		}
+		col = trace.NewCollector(n)
+	}
 	user := override
 	override = func(cfg *core.Config) {
 		cfg.MaxCycles = HarnessMaxCycles
@@ -143,11 +158,19 @@ func RunOne(app, input string, kind apps.SystemKind, merged bool, opt Options, o
 		if opt.AuditCycles != 0 {
 			cfg.AuditCycles = cyclesKnob(opt.AuditCycles)
 		}
+		if col != nil {
+			cfg.Tracer = col
+			cfg.Metrics = col
+			cfg.MetricsCycles = opt.Trace.SampleCycles
+		}
 		if user != nil {
 			user(cfg)
 		}
 	}
 	out, err := runApp(app, input, kind, merged, opt, override)
+	if col != nil {
+		opt.Trace.add(jobKey(app, input, kind, merged), col)
+	}
 	if err != nil && errors.Is(err, core.ErrMaxCycles) {
 		err = fmt.Errorf("%w: %s/%s on %v: %w", ErrCycleBudget, app, input, kind, err)
 	}

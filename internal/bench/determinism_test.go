@@ -2,6 +2,8 @@ package bench
 
 import (
 	"reflect"
+	"runtime"
+	"strings"
 	"testing"
 
 	"fifer/internal/apps"
@@ -41,6 +43,82 @@ func TestParallelMatchesSerial(t *testing.T) {
 			t.Errorf("%s/%s %v: parallel outcome differs from serial\nserial:   %+v\nparallel: %+v",
 				j.App, j.Input, j.Kind, serial[i].Outcome, parallel[i].Outcome)
 		}
+	}
+}
+
+// TestTracingDoesNotPerturb is the differential half of the observability
+// contract (DESIGN.md §9): attaching a TraceSink must not change a single
+// bit of any outcome, at any worker count. Every app at scale 0 is run
+// untraced, traced at -j 1, and traced at -j NumCPU; all three result sets
+// must DeepEqual, and both traced sweeps must actually have captured events
+// (so the test cannot pass vacuously with tracing silently off).
+func TestTracingDoesNotPerturb(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full differential sweep")
+	}
+	var jobs []Job
+	for _, app := range AppNames {
+		input := InputsOf(app)[0]
+		jobs = append(jobs, Job{App: app, Input: input, Kind: apps.FiferPipe})
+		jobs = append(jobs, Job{App: app, Input: input, Kind: apps.StaticPipe})
+	}
+	base := Options{Scale: 0, Seed: 1}
+	plain := Runner{Workers: 1}.Run(base, jobs)
+
+	run := func(workers int) ([]JobResult, *TraceSink) {
+		opt := base
+		// Small rings on purpose: overflow (drop-oldest) must be just as
+		// invisible to the simulation as comfortable headroom.
+		opt.Trace = &TraceSink{SampleCycles: 512, BufEvents: 1 << 12}
+		return Runner{Workers: workers}.Run(opt, jobs), opt.Trace
+	}
+	serialTraced, sinkSerial := run(1)
+	parallelTraced, sinkParallel := run(runtime.NumCPU())
+
+	for i, j := range jobs {
+		for _, r := range []JobResult{plain[i], serialTraced[i], parallelTraced[i]} {
+			if r.Err != nil {
+				t.Fatalf("%s: %v", j.key(), r.Err)
+			}
+		}
+		if !reflect.DeepEqual(plain[i].Outcome, serialTraced[i].Outcome) {
+			t.Errorf("%s: traced serial outcome differs from untraced", j.key())
+		}
+		if !reflect.DeepEqual(plain[i].Outcome, parallelTraced[i].Outcome) {
+			t.Errorf("%s: traced parallel outcome differs from untraced", j.key())
+		}
+	}
+	for _, sink := range []*TraceSink{sinkSerial, sinkParallel} {
+		traced := sink.Jobs()
+		if len(traced) != len(jobs) {
+			t.Fatalf("sink captured %d job(s), want %d", len(traced), len(jobs))
+		}
+		for _, tj := range traced {
+			if tj.Collector.Len() == 0 {
+				t.Errorf("%s: traced run captured no events", tj.Key)
+			}
+		}
+	}
+}
+
+// TestGoldenFig13WithTracing re-renders the Fig. 13 golden with a TraceSink
+// attached: the formatter output must match the committed golden byte for
+// byte, proving tracing cannot leak into the paper's regenerated numbers.
+func TestGoldenFig13WithTracing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	opt := goldenOpt("BFS", "SpMM")
+	opt.Trace = &TraceSink{SampleCycles: 1024, BufEvents: 1 << 14}
+	d, err := Fig13(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	d.Print(&b)
+	checkGolden(t, "fig13", b.String())
+	if len(opt.Trace.Jobs()) == 0 {
+		t.Fatal("sweep with TraceSink captured nothing")
 	}
 }
 

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"fifer/internal/apps"
+	"fifer/internal/trace"
+)
+
+// TraceSink collects per-job observability data across a sweep. Attach one
+// via Options.Trace and every CGRA simulation the sweep runs gets its own
+// event collector and metrics sampler wired into the core (the OOO
+// baselines never enter the core loop, produce nothing, and are skipped).
+// Collection is safe under any Options.Jobs because each job owns its
+// collector; only registration takes the sink's lock. Retried jobs replace
+// their earlier attempt's data, so the sink holds exactly one trace per
+// job — the one whose outcome the sweep reported.
+//
+// Tracing is observation only: outcomes, goldens, and journals are
+// byte-identical with a sink attached or not, at any worker count (pinned
+// by the differential test in determinism_test.go).
+type TraceSink struct {
+	// SampleCycles is the metrics sample period in cycles
+	// (0 = core.DefaultMetricsCycles).
+	SampleCycles uint64
+	// BufEvents is each job's event-ring capacity
+	// (0 = trace.DefaultBufEvents). When a run overflows the ring, the
+	// oldest events are dropped flight-recorder style; Jobs reports drops.
+	BufEvents int
+
+	mu   sync.Mutex
+	jobs map[string]*trace.Collector
+}
+
+// NewTraceSink returns a sink sampling metrics every sampleCycles cycles.
+func NewTraceSink(sampleCycles uint64) *TraceSink {
+	return &TraceSink{SampleCycles: sampleCycles}
+}
+
+// jobKey renders the sink's per-job identity — the same string Job.key
+// produces, so sweep traces line up with progress and journal reporting.
+func jobKey(app, input string, kind apps.SystemKind, merged bool) string {
+	s := fmt.Sprintf("%s/%s %v", app, input, kind)
+	if merged {
+		s += " merged"
+	}
+	return s
+}
+
+// add registers a finished job's collector, replacing any earlier attempt.
+// Empty collectors (OOO baselines) are dropped.
+func (t *TraceSink) add(key string, col *trace.Collector) {
+	if t == nil || col == nil || col.Empty() {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.jobs == nil {
+		t.jobs = map[string]*trace.Collector{}
+	}
+	t.jobs[key] = col
+}
+
+// TracedJob is one simulation's collected observability data.
+type TracedJob struct {
+	Key       string
+	Collector *trace.Collector
+}
+
+// Jobs returns every traced job sorted by key, so exports are deterministic
+// regardless of completion order or worker count.
+func (t *TraceSink) Jobs() []TracedJob {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	keys := make([]string, 0, len(t.jobs))
+	for k := range t.jobs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]TracedJob, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, TracedJob{Key: k, Collector: t.jobs[k]})
+	}
+	return out
+}
+
+// Dropped sums ring overwrites across all jobs; nonzero means the trace
+// file holds each overflowing run's suffix, not its whole history.
+func (t *TraceSink) Dropped() uint64 {
+	var n uint64
+	for _, j := range t.Jobs() {
+		n += j.Collector.Dropped()
+	}
+	return n
+}
+
+// WriteTrace writes every traced job as one Chrome/Perfetto trace-event
+// JSON document (one process per job, one thread per PE, ts in cycles).
+func (t *TraceSink) WriteTrace(w io.Writer) error {
+	jobs := t.Jobs()
+	jts := make([]trace.JobTrace, 0, len(jobs))
+	for _, j := range jobs {
+		jts = append(jts, trace.JobTrace{Name: j.Key, Events: j.Collector.Events()})
+	}
+	return trace.WriteChrome(w, jts)
+}
+
+// WriteMetricsJSONL writes every traced job's metrics samples as JSONL.
+func (t *TraceSink) WriteMetricsJSONL(w io.Writer) error {
+	for _, j := range t.Jobs() {
+		if err := trace.WriteMetricsJSONL(w, j.Key, j.Collector.Rows()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMetricsCSV writes every traced job's metrics samples as one CSV
+// table (single header row).
+func (t *TraceSink) WriteMetricsCSV(w io.Writer) error {
+	fmt.Fprintln(w, "job,cycle,pe,issued,stall,queue,reconfig,idle,qtokens,drm_inflight")
+	for _, j := range t.Jobs() {
+		for _, r := range j.Collector.Rows() {
+			fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				j.Key, r.Cycle, r.PE, r.Issued, r.Stall, r.Queue, r.Reconfig, r.Idle,
+				r.QueueTokens, r.DRMInflight)
+		}
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 
 	"fifer/internal/cgra"
 	"fifer/internal/mem"
+	"fifer/internal/trace"
 )
 
 // Mode selects between the two CGRA-based systems the paper evaluates.
@@ -90,7 +91,28 @@ type Config struct {
 	// bit-identical whether Done is nil or non-nil-but-never-closed, and a
 	// nil Done costs a single predictable branch per checkpoint.
 	Done <-chan struct{}
+
+	// Tracer, when non-nil, receives a typed trace.Event at every
+	// observable simulation event: stage switches, reconfiguration
+	// begin/end, queue full/ready stall edges, DRM issues and responses,
+	// inter-PE credit grants and returns, and watchdog checkpoints. The
+	// tracer only observes value types the simulation already computes, so
+	// results are bit-identical with it attached or nil; a nil Tracer costs
+	// one predictable branch per potential event and zero allocations on
+	// the hot path (pinned by a testing.AllocsPerRun benchmark).
+	Tracer trace.Tracer
+
+	// Metrics, when non-nil, receives one trace.MetricsRow per PE every
+	// MetricsCycles cycles (DefaultMetricsCycles when zero) plus one final
+	// partial-window sample at completion, so every PE's deltas sum to the
+	// run's cycle count exactly. Like Tracer it is read-only.
+	Metrics       trace.MetricsSink
+	MetricsCycles uint64
 }
+
+// DefaultMetricsCycles is the metrics sample period used when Config.Metrics
+// is set but MetricsCycles is zero.
+const DefaultMetricsCycles = 4096
 
 // DefaultConfig returns the paper's 16-PE Fifer system.
 func DefaultConfig() Config {

@@ -4,6 +4,7 @@ import (
 	"fifer/internal/mem"
 	"fifer/internal/queue"
 	"fifer/internal/stage"
+	"fifer/internal/trace"
 )
 
 // DRMMode selects a decoupled reference machine's behavior (Sec. 5.4).
@@ -62,6 +63,11 @@ type DRM struct {
 	inflight  []drmEntry
 	lastReady uint64
 	respExtra uint64 // fault injection: extra latency on every response
+
+	// tracer/pe are set by the owning PE's wireTrace; nil tracer (the
+	// default) reduces every emission site to one branch.
+	tracer trace.Tracer
+	pe     int
 
 	scanCur    mem.Addr // active scan cursor; scanEnd==0 means no active range
 	scanEnd    mem.Addr
@@ -141,13 +147,17 @@ func (d *DRM) Tick(now uint64) {
 	}
 	// Completion (in order).
 	for k := 0; k < d.width && len(d.inflight) > 0 && d.inflight[0].ready <= now; k++ {
-		if !d.out.Push(d.inflight[0].tok) {
+		tok := d.inflight[0].tok
+		if !d.out.Push(tok) {
 			d.OutFull++
 			break
 		}
 		copy(d.inflight, d.inflight[1:])
 		d.inflight = d.inflight[:len(d.inflight)-1]
 		d.Emitted++
+		if d.tracer != nil {
+			d.trace(now, trace.KindDRMResponse, tok.Value)
+		}
 	}
 	for k := 0; k < d.width && len(d.inflight) < d.max; k++ {
 		if !d.issue(now) {
@@ -172,6 +182,9 @@ func (d *DRM) issue(now uint64) bool {
 		}
 		v, ready := d.port.Load(now, mem.Addr(t.Value))
 		d.Accesses++
+		if d.tracer != nil {
+			d.trace(now, trace.KindDRMIssue, t.Value)
+		}
 		d.push(queue.Data(v), ready)
 		return true
 	case DRMScan:
@@ -205,6 +218,9 @@ func (d *DRM) issue(now uint64) bool {
 		}
 		v, ready := d.port.Load(now, d.scanCur)
 		d.Accesses++
+		if d.tracer != nil {
+			d.trace(now, trace.KindDRMIssue, uint64(d.scanCur))
+		}
 		d.push(queue.Data(v), ready)
 		d.scanCur += mem.WordBytes
 		if d.scanCur >= d.scanEnd {
@@ -241,6 +257,9 @@ func (d *DRM) issue(now uint64) bool {
 		}
 		v, ready := d.port.Load(now, d.scanCur)
 		d.Accesses++
+		if d.tracer != nil {
+			d.trace(now, trace.KindDRMIssue, uint64(d.scanCur))
+		}
 		d.push(queue.Data(v), ready)
 		d.scanCur += d.stride
 		d.strideLeft--
@@ -253,6 +272,12 @@ func (d *DRM) issue(now uint64) bool {
 		return true
 	}
 	return false
+}
+
+// trace emits one event on this DRM's behalf; callers nil-check d.tracer
+// first so the disabled path costs one branch.
+func (d *DRM) trace(now uint64, k trace.Kind, arg uint64) {
+	d.tracer.Emit(trace.Event{Cycle: now, PE: d.pe, Kind: k, Name: d.name, Arg: arg})
 }
 
 func (d *DRM) push(t queue.Token, ready uint64) {

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fifer/internal/queue"
+	"fifer/internal/trace"
+)
+
+// Observability wiring (DESIGN.md §9). Everything here is read-only with
+// respect to the simulation: hooks fire after state transitions and only
+// copy values the machine already computed, so a traced run is cycle-for-
+// cycle identical to an untraced one. The wiring happens once, at system
+// (and queue) construction; the per-event cost with tracing off is a nil
+// check at each emission site.
+
+// wireTrace attaches the system tracer to a freshly built PE: queue
+// full/ready stall edges on every queue the PE's queue memory will ever
+// allocate (via the Mem alloc hook, since application queues are carved out
+// during program build, after NewSystem) plus the DRM address queues, and
+// the DRM issue/response event stream.
+func (p *PE) wireTrace() {
+	t := p.sys.tracer
+	if t == nil {
+		return
+	}
+	sys, id := p.sys, p.ID
+	hook := func(q *queue.Queue) {
+		q.SetEdgeHook(func(full bool) {
+			k := trace.KindQueueReady
+			if full {
+				k = trace.KindQueueFull
+			}
+			t.Emit(trace.Event{Cycle: sys.Cycle, PE: id, Kind: k, Name: q.Name(), Arg: uint64(q.Len())})
+		})
+	}
+	p.QMem.SetOnAlloc(hook)
+	for _, d := range p.DRMs {
+		hook(d.in)
+		d.tracer, d.pe = t, id
+	}
+}
+
+// trace emits one event on this PE's behalf; callers nil-check p.sys.tracer
+// first so the disabled path costs one branch.
+func (p *PE) trace(now uint64, k trace.Kind, name string, arg uint64) {
+	p.sys.tracer.Emit(trace.Event{Cycle: now, PE: p.ID, Kind: k, Name: name, Arg: arg})
+}
+
+// sampleMetrics emits one MetricsRow per PE: CPI-stack deltas since the
+// previous sample plus the instantaneous queue-memory occupancy and DRM
+// inflight gauges. Exactly one bucket advances per PE per cycle, so each
+// PE's deltas over a full window sum to the window length, and over a whole
+// run to Result.Cycles — the invariant suite's anchor.
+func (s *System) sampleMetrics() {
+	for i, pe := range s.PEs {
+		cur := pe.Stack
+		prev := s.lastStacks[i]
+		infl := 0
+		for _, d := range pe.DRMs {
+			infl += len(d.inflight)
+		}
+		s.Cfg.Metrics.SampleRow(trace.MetricsRow{
+			Cycle:       s.Cycle,
+			PE:          i,
+			Issued:      cur.Issued - prev.Issued,
+			Stall:       cur.Stall - prev.Stall,
+			Queue:       cur.Queue - prev.Queue,
+			Reconfig:    cur.Reconfig - prev.Reconfig,
+			Idle:        cur.Idle - prev.Idle,
+			QueueTokens: pe.QMem.Buffered(),
+			DRMInflight: infl,
+		})
+		s.lastStacks[i] = cur
+	}
+	s.lastSample = s.Cycle
+}

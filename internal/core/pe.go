@@ -6,6 +6,7 @@ import (
 	"fifer/internal/mem"
 	"fifer/internal/queue"
 	"fifer/internal/stage"
+	"fifer/internal/trace"
 )
 
 // PE is one processing element: a CGRA fabric with its private L1 cache,
@@ -65,6 +66,7 @@ func newPE(id int, sys *System) *PE {
 		in := queue.NewQueue(fmt.Sprintf("pe%d.drm%d.in", id, i), 16)
 		pe.DRMs = append(pe.DRMs, NewDRM(fmt.Sprintf("pe%d.drm%d", id, i), in, pe.Mem, cfg.DRMOutstanding, cfg.DRMIssueWidth))
 	}
+	pe.wireTrace()
 	return pe
 }
 
@@ -144,6 +146,9 @@ func (p *PE) Tick(now uint64) {
 		return
 	}
 	if p.pending >= 0 {
+		if p.sys.tracer != nil {
+			p.trace(now, trace.KindReconfigEnd, p.stages[p.pending].Name(), uint64(p.pending))
+		}
 		p.activate(now, p.pending)
 		p.pending = -1
 	}
@@ -255,6 +260,9 @@ func (p *PE) beginReconfig(now uint64, next int) {
 	p.pending = next
 	p.SumReconfig += period
 	p.Reconfigs++
+	if p.sys.tracer != nil {
+		p.trace(now, trace.KindReconfigBegin, p.stages[next].Name(), period)
+	}
 }
 
 // configLoadCycles models streaming the next stage's configuration data from
@@ -285,6 +293,9 @@ func (p *PE) activate(now uint64, idx int) {
 	p.Activations++
 	p.active = idx
 	p.firedSinceAct = false
+	if p.sys.tracer != nil {
+		p.trace(now, trace.KindStageSwitch, p.stages[idx].Name(), uint64(idx))
+	}
 }
 
 // accountBlocked attributes a non-firing cycle to the queue or idle bucket.

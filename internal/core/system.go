@@ -6,6 +6,7 @@ import (
 
 	"fifer/internal/mem"
 	"fifer/internal/queue"
+	"fifer/internal/trace"
 )
 
 // ErrMaxCycles reports that a run elapsed Cfg.MaxCycles before the program
@@ -43,6 +44,14 @@ type System struct {
 	// for observers and fault injectors (internal/faults); Run never skips
 	// them, and an empty list costs one length check per cycle.
 	hooks []func(s *System, now uint64)
+
+	// tracer caches Cfg.Tracer for the nil-checked emission sites; the
+	// metrics fields hold the sampler's per-PE CPI-stack snapshots (see
+	// observe.go). All of them are nil/zero — and cost nothing — when
+	// observability is off.
+	tracer     trace.Tracer
+	lastStacks []CPIStack
+	lastSample uint64
 }
 
 // NewSystem builds a system from cfg, panicking on an invalid config. It
@@ -74,6 +83,7 @@ func NewSystemChecked(cfg Config) (*System, error) {
 		Cfg:     cfg,
 		Backing: mem.NewBacking(cfg.BackingBytes),
 		Hier:    mem.NewHierarchy(cfg.Hier),
+		tracer:  cfg.Tracer,
 	}
 	for i := 0; i < cfg.PEs; i++ {
 		s.PEs = append(s.PEs, newPE(i, s))
@@ -95,6 +105,15 @@ func (s *System) PE(i int) *PE { return s.PEs[i] }
 func (s *System) InterPEQueue(consumer int, name string, capTokens, producers int) *queue.Arbiter {
 	q := s.PEs[consumer].AllocQueue(name, capTokens)
 	a := queue.NewArbiter(q, producers)
+	if t := s.tracer; t != nil {
+		a.SetCreditHook(func(port int, granted bool) {
+			k := trace.KindCreditReturn
+			if granted {
+				k = trace.KindCreditGrant
+			}
+			t.Emit(trace.Event{Cycle: s.Cycle, PE: consumer, Kind: k, Name: q.Name(), Arg: uint64(port)})
+		})
+	}
 	s.arbiters = append(s.arbiters, a)
 	return a
 }
@@ -126,6 +145,12 @@ type Result struct {
 	MeanResidence float64
 	MeanReconfig  float64
 	Reconfigs     uint64
+
+	// PEActivations is each PE's completed stage activations — the counter
+	// the trace invariant suite reconciles per-PE stage-switch events
+	// against. omitempty keeps journals written before this field existed
+	// verifying (their records re-marshal without it, so CRCs still match).
+	PEActivations []uint64 `json:"PEActivations,omitempty"`
 }
 
 // Run drives the system until the program reports completion. It fails with
@@ -171,6 +196,17 @@ func (s *System) Run(prog Program) (res Result, err error) {
 		default:
 		}
 	}
+	// Metrics sampling rides its own period; zero Cfg.Metrics keeps
+	// sampleEvery at 0, reducing the per-cycle cost to one comparison.
+	var sampleEvery uint64
+	if s.Cfg.Metrics != nil {
+		if sampleEvery = s.Cfg.MetricsCycles; sampleEvery == 0 {
+			sampleEvery = DefaultMetricsCycles
+		}
+		if s.lastStacks == nil {
+			s.lastStacks = make([]CPIStack, len(s.PEs))
+		}
+	}
 	lastSig := s.progressSig()
 	lastProgress := s.Cycle
 	for {
@@ -208,8 +244,15 @@ func (s *System) Run(prog Program) (res Result, err error) {
 			default:
 			}
 		}
+		if sampleEvery > 0 && s.Cycle%sampleEvery == 0 {
+			s.sampleMetrics()
+		}
 		if wdInterval > 0 && s.Cycle%wdInterval == 0 {
 			sig := s.progressSig()
+			if s.tracer != nil {
+				s.tracer.Emit(trace.Event{Cycle: s.Cycle, PE: -1,
+					Kind: trace.KindCheckpoint, Name: "watchdog", Arg: sig.firings})
+			}
 			if sig == lastSig {
 				return res, s.deadlockError(lastProgress)
 			}
@@ -226,10 +269,17 @@ func (s *System) Run(prog Program) (res Result, err error) {
 		}
 	}
 	res.Cycles = s.Cycle
+	// Flush the final partial metrics window so per-PE deltas sum to the
+	// run's cycle count exactly (skipped when the last period landed on the
+	// final cycle — the deltas would all be zero).
+	if s.Cfg.Metrics != nil && s.Cycle != s.lastSample {
+		s.sampleMetrics()
+	}
 	var sumRes, sumRec, nAct, nRec uint64
 	for _, pe := range s.PEs {
 		res.Stacks = append(res.Stacks, pe.Stack)
 		res.Total.Add(pe.Stack)
+		res.PEActivations = append(res.PEActivations, pe.Activations)
 		for _, st := range pe.stages {
 			res.Firings += st.Firings
 		}

@@ -48,6 +48,9 @@ func (p *CreditPort) Send(t Token) bool {
 	}
 	p.credits--
 	p.arb.senders = append(p.arb.senders, p.index)
+	if p.arb.credit != nil {
+		p.arb.credit(p.index, true)
+	}
 	return true
 }
 
@@ -58,7 +61,18 @@ type Arbiter struct {
 	dst     *Queue
 	ports   []*CreditPort
 	senders []int // port index of each buffered credited token, FIFO
+
+	// credit, when non-nil, observes credit movements: f(port, true) when a
+	// send consumes one of port's credits, f(port, false) when a consumer
+	// dequeue returns one. Nil costs one branch per send and per credited
+	// dequeue.
+	credit func(port int, granted bool)
 }
+
+// SetCreditHook registers f to observe credit grants (sends) and returns
+// (consumer dequeues) on this arbiter; see the credit field for the
+// callback contract.
+func (a *Arbiter) SetCreditHook(f func(port int, granted bool)) { a.credit = f }
 
 // NewArbiter wraps dst with credit flow control for nproducers producers.
 // Credits are divided evenly; remainders go to the lowest-numbered ports,
@@ -109,6 +123,9 @@ func (a *Arbiter) returnCredit() {
 	copy(a.senders, a.senders[1:])
 	a.senders = a.senders[:len(a.senders)-1]
 	a.ports[idx].credits++
+	if a.credit != nil {
+		a.credit(idx, false)
+	}
 }
 
 // CreditedBuffered returns the number of buffered tokens that arrived

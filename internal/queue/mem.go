@@ -12,6 +12,7 @@ type Mem struct {
 	totalBytes int
 	usedBytes  int
 	queues     []*Queue
+	onAlloc    func(*Queue)
 }
 
 // NewMem returns a queue memory with the given SRAM capacity in bytes.
@@ -31,6 +32,12 @@ func (m *Mem) FreeBytes() int { return m.totalBytes - m.usedBytes }
 // Queues returns all queues allocated from this memory, in allocation order.
 func (m *Mem) Queues() []*Queue { return m.queues }
 
+// SetOnAlloc registers f to run on every queue allocated after this call —
+// the seam the simulator uses to attach trace hooks at the moment a queue
+// is carved out of the SRAM, whenever during program build that happens.
+// Queues allocated earlier are not revisited.
+func (m *Mem) SetOnAlloc(f func(*Queue)) { m.onAlloc = f }
+
 // Alloc carves a queue with capacity capTokens out of the SRAM budget.
 // It returns an error when the remaining budget is insufficient.
 func (m *Mem) Alloc(name string, capTokens int) (*Queue, error) {
@@ -42,6 +49,9 @@ func (m *Mem) Alloc(name string, capTokens int) (*Queue, error) {
 	q := NewQueue(name, capTokens)
 	m.usedBytes += need
 	m.queues = append(m.queues, q)
+	if m.onAlloc != nil {
+		m.onAlloc(q)
+	}
 	return q, nil
 }
 

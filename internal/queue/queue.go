@@ -41,6 +41,12 @@ type Queue struct {
 	FullEvts uint64 // enqueue attempts rejected because the queue was full
 	occupSum uint64 // sum of size over sampled cycles (for mean occupancy)
 	occupN   uint64
+
+	// edge, when non-nil, observes transitions into (true) and out of
+	// (false) the full state — the back-pressure stall edges the tracing
+	// layer records. Nil (the default) costs one branch per enqueue and
+	// dequeue and nothing else.
+	edge func(full bool)
 }
 
 // NewQueue creates a standalone queue with the given capacity in tokens.
@@ -72,6 +78,13 @@ func (q *Queue) Empty() bool { return q.size == 0 }
 // Full reports whether the queue has no free slots.
 func (q *Queue) Full() bool { return q.size == len(q.buf) }
 
+// SetEdgeHook registers f to observe full-state transitions: f(true) when
+// an enqueue fills the last slot, f(false) when a dequeue (or Reset) first
+// makes space again. Invocations strictly alternate true/false per queue,
+// starting with true; the hook runs after the state change, so occupancy
+// reads from inside it see the post-transition queue.
+func (q *Queue) SetEdgeHook(f func(full bool)) { q.edge = f }
+
 // Enq appends a token. It returns false (and counts a full event) when the
 // queue is full.
 func (q *Queue) Enq(t Token) bool {
@@ -82,6 +95,9 @@ func (q *Queue) Enq(t Token) bool {
 	q.buf[(q.head+q.size)%len(q.buf)] = t
 	q.size++
 	q.Enqueued++
+	if q.edge != nil && q.size == len(q.buf) {
+		q.edge(true)
+	}
 	return true
 }
 
@@ -91,10 +107,14 @@ func (q *Queue) Deq() (t Token, ok bool) {
 	if q.size == 0 {
 		return Token{}, false
 	}
+	wasFull := q.size == len(q.buf)
 	t = q.buf[q.head]
 	q.head = (q.head + 1) % len(q.buf)
 	q.size--
 	q.Dequeued++
+	if wasFull && q.edge != nil {
+		q.edge(false)
+	}
 	return t, true
 }
 
@@ -128,7 +148,13 @@ func (q *Queue) MeanOccupancy() float64 {
 	return float64(q.occupSum) / float64(q.occupN)
 }
 
-// Reset discards buffered tokens but keeps capacity and statistics.
+// Reset discards buffered tokens but keeps capacity and statistics. A full
+// queue reports the trailing (ready) stall edge so edge alternation
+// survives a reset.
 func (q *Queue) Reset() {
+	wasFull := q.size == len(q.buf)
 	q.head, q.size = 0, 0
+	if wasFull && q.edge != nil {
+		q.edge(false)
+	}
 }

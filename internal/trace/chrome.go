@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export. The file is the JSON-object form of the Chrome
+// trace format ({"traceEvents":[...]}), which Perfetto and chrome://tracing
+// both load directly. Every simulation event becomes one instant event
+// (ph "i"): ts is the simulated cycle (the file's time unit is cycles, not
+// microseconds), pid is the job ordinal within the file, tid is the PE, the
+// event name is the Kind string, and args carry the component name and the
+// kind-specific payload. A process_name metadata record labels each pid with
+// its job key ("BFS/Hu fifer-16pe"), so multi-job sweeps load as one trace
+// with one process per simulation. The mapping is lossless: ReadChrome
+// reverses it exactly, which the round-trip property test pins.
+
+// JobTrace is one simulation's event stream within a trace file.
+type JobTrace struct {
+	Name   string // job key, e.g. "BFS/Hu fifer-16pe"
+	Events []Event
+}
+
+// chromeEvent is the wire form of one trace-event record. Ts and Arg are
+// typed uint64 so 64-bit cycle counts and payloads round-trip exactly
+// instead of passing through float64.
+type chromeEvent struct {
+	Name string     `json:"name"`
+	Ph   string     `json:"ph"`
+	Ts   uint64     `json:"ts"`
+	Pid  int        `json:"pid"`
+	Tid  int        `json:"tid"`
+	S    string     `json:"s,omitempty"`
+	Args chromeArgs `json:"args"`
+}
+
+type chromeArgs struct {
+	// Comp is the simulation event's component name; Arg its payload.
+	Comp string `json:"comp,omitempty"`
+	Arg  uint64 `json:"arg"`
+	// Name carries the process name on ph "M" metadata records.
+	Name string `json:"name,omitempty"`
+}
+
+// WriteChrome writes jobs as one Chrome trace-event JSON document. Events
+// are written in stream order per job and jobs in slice order, so the
+// output is deterministic for deterministic inputs.
+func WriteChrome(w io.Writer, jobs []JobTrace) error {
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(e chromeEvent) error {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := w.Write([]byte(",\n")); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = w.Write(b)
+		return err
+	}
+	for pid, job := range jobs {
+		if err := emit(chromeEvent{Name: "process_name", Ph: "M", Pid: pid,
+			Args: chromeArgs{Name: job.Name}}); err != nil {
+			return err
+		}
+		for _, e := range job.Events {
+			if err := emit(chromeEvent{
+				Name: e.Kind.String(),
+				Ph:   "i",
+				Ts:   e.Cycle,
+				Pid:  pid,
+				Tid:  e.PE,
+				S:    "t",
+				Args: chromeArgs{Comp: e.Name, Arg: e.Arg},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}
+
+// ReadChrome parses a trace file written by WriteChrome back into per-job
+// event streams, in pid order. Unknown event names (a trace from a newer
+// encoder) are an error rather than a silent drop.
+func ReadChrome(r io.Reader) ([]JobTrace, error) {
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("trace: not a Chrome trace-event JSON document: %w", err)
+	}
+	names := map[int]string{}
+	events := map[int][]Event{}
+	for i, ce := range doc.TraceEvents {
+		switch ce.Ph {
+		case "M":
+			if ce.Name == "process_name" {
+				names[ce.Pid] = ce.Args.Name
+			}
+		case "i":
+			k, ok := KindFromString(ce.Name)
+			if !ok {
+				return nil, fmt.Errorf("trace: record %d: unknown event kind %q", i, ce.Name)
+			}
+			events[ce.Pid] = append(events[ce.Pid], Event{
+				Cycle: ce.Ts, PE: ce.Tid, Kind: k, Name: ce.Args.Comp, Arg: ce.Args.Arg,
+			})
+		default:
+			return nil, fmt.Errorf("trace: record %d: unexpected phase %q", i, ce.Ph)
+		}
+	}
+	pids := make([]int, 0, len(names))
+	for pid := range names {
+		pids = append(pids, pid)
+	}
+	for pid := range events {
+		if _, ok := names[pid]; !ok {
+			pids = append(pids, pid)
+		}
+	}
+	sort.Ints(pids)
+	out := make([]JobTrace, 0, len(pids))
+	for _, pid := range pids {
+		out = append(out, JobTrace{Name: names[pid], Events: events[pid]})
+	}
+	return out, nil
+}

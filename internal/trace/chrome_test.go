@@ -1,0 +1,219 @@
+package trace_test
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fifer/internal/apps"
+	"fifer/internal/bench"
+	"fifer/internal/core"
+	"fifer/internal/trace"
+)
+
+// randomJobs builds a deterministic pseudo-random trace: every kind, PEs
+// including the system-wide -1, full-range uint64 cycles and args (the
+// values float64 would corrupt), empty and non-empty component names.
+func randomJobs(rng *rand.Rand, n int) []trace.JobTrace {
+	names := []string{"", "pe0.drm0", "bfs.r0.update", "q/with,odd\"chars\\"}
+	kinds := trace.Kinds()
+	jobs := make([]trace.JobTrace, n)
+	for i := range jobs {
+		jobs[i].Name = []string{"BFS/Hu fifer-16pe", "", "SpMM/web static"}[rng.Intn(3)]
+		evs := make([]trace.Event, 1+rng.Intn(200))
+		cycle := rng.Uint64() >> 1
+		for j := range evs {
+			cycle += uint64(rng.Intn(1000))
+			evs[j] = trace.Event{
+				Cycle: cycle,
+				PE:    rng.Intn(34) - 1,
+				Kind:  kinds[rng.Intn(len(kinds))],
+				Name:  names[rng.Intn(len(names))],
+				Arg:   rng.Uint64(),
+			}
+		}
+		// Occasionally use extreme values that would not survive float64.
+		if rng.Intn(2) == 0 {
+			evs[0].Cycle = 1<<63 + 1
+			evs[0].Arg = 1<<64 - 1
+		}
+		jobs[i].Events = evs
+	}
+	return jobs
+}
+
+// TestChromeRoundTripProperty is the export property test: for many random
+// traces, WriteChrome → ReadChrome reproduces every job and event exactly —
+// kind names decode to the same Kind, and 64-bit cycles/args survive
+// losslessly (the wire structs are integer-typed precisely so 2^63-scale
+// values do not pass through float64).
+func TestChromeRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		jobs := randomJobs(rng, 1+rng.Intn(4))
+		var buf bytes.Buffer
+		if err := trace.WriteChrome(&buf, jobs); err != nil {
+			t.Fatalf("iter %d: write: %v", iter, err)
+		}
+		got, err := trace.ReadChrome(&buf)
+		if err != nil {
+			t.Fatalf("iter %d: read: %v", iter, err)
+		}
+		if !reflect.DeepEqual(got, jobs) {
+			t.Fatalf("iter %d: round trip changed the trace\n got: %+v\nwant: %+v", iter, got, jobs)
+		}
+	}
+}
+
+// TestChromeRoundTripEmptyJob pins the edge the property test's generator
+// avoids: a job with no events survives as its metadata record alone.
+func TestChromeRoundTripEmptyJob(t *testing.T) {
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, []trace.JobTrace{{Name: "empty job"}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "empty job" || len(got[0].Events) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// TestChromeRejects pins the decoder's refusal behavior: non-JSON, unknown
+// event kinds (a newer encoder), and unexpected phases fail loudly instead
+// of dropping records.
+func TestChromeRejects(t *testing.T) {
+	for name, doc := range map[string]string{
+		"not json":      "][",
+		"unknown kind":  `{"traceEvents":[{"name":"future-kind","ph":"i","ts":1,"pid":0,"tid":0,"args":{"arg":0}}]}`,
+		"unknown phase": `{"traceEvents":[{"name":"stage-switch","ph":"X","ts":1,"pid":0,"tid":0,"args":{"arg":0}}]}`,
+	} {
+		if _, err := trace.ReadChrome(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: ReadChrome accepted it", name)
+		}
+	}
+}
+
+// TestMetricsRoundTripProperty is the same property for the metrics JSONL
+// form: random rows for several jobs round-trip through write/read with
+// job grouping preserved in first-appearance order.
+func TestMetricsRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 50; iter++ {
+		var buf bytes.Buffer
+		var want []trace.JobMetrics
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			jm := trace.JobMetrics{Name: []string{"a", "b", "c"}[j]}
+			for r := 0; r < 1+rng.Intn(20); r++ {
+				jm.Rows = append(jm.Rows, trace.MetricsRow{
+					Cycle: rng.Uint64(), PE: rng.Intn(16),
+					Issued: rng.Uint64() >> 40, Stall: rng.Uint64() >> 40,
+					Queue: rng.Uint64() >> 40, Reconfig: rng.Uint64() >> 40,
+					Idle: rng.Uint64() >> 40, QueueTokens: rng.Intn(4096),
+					DRMInflight: rng.Intn(64),
+				})
+			}
+			want = append(want, jm)
+			if err := trace.WriteMetricsJSONL(&buf, jm.Name, jm.Rows); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := trace.ReadMetricsJSONL(&buf)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d: metrics round trip changed rows\n got: %+v\nwant: %+v", iter, got, want)
+		}
+	}
+}
+
+// TestRealTraceMonotoneAndRoundTrips drives a real benchmark through a
+// Collector and checks the stream the way fifertrace consumes it: per-PE
+// timestamps are monotone non-decreasing, and the collected trace survives
+// the Chrome encoder/decoder exactly.
+func TestRealTraceMonotoneAndRoundTrips(t *testing.T) {
+	col := trace.NewCollector(1 << 18)
+	_, err := bench.RunOne("CC", bench.InputsOf("CC")[0], apps.FiferPipe, false,
+		bench.Options{Scale: 0, Seed: 1}, func(cfg *core.Config) { cfg.Tracer = col })
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := col.Events()
+	if len(events) == 0 {
+		t.Fatal("run produced no events")
+	}
+	if col.Dropped() > 0 {
+		t.Fatalf("ring overflowed (%d dropped); grow the buffer so the monotonicity check sees the whole run", col.Dropped())
+	}
+	last := map[int]uint64{}
+	for i, e := range events {
+		if prev, ok := last[e.PE]; ok && e.Cycle < prev {
+			t.Fatalf("event %d: pe%d cycle %d < previous %d", i, e.PE, e.Cycle, prev)
+		}
+		last[e.PE] = e.Cycle
+	}
+	jobs := []trace.JobTrace{{Name: "CC real run", Events: events}}
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, jobs) {
+		t.Fatal("real trace did not round-trip exactly")
+	}
+}
+
+// TestCollectorRing pins the flight-recorder semantics: under overflow the
+// ring keeps the newest events in order and counts the overwritten ones.
+func TestCollectorRing(t *testing.T) {
+	c := trace.NewCollector(4)
+	for i := 0; i < 10; i++ {
+		c.Emit(trace.Event{Cycle: uint64(i)})
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+	if c.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", c.Dropped())
+	}
+	events := c.Events()
+	for i, e := range events {
+		if want := uint64(6 + i); e.Cycle != want {
+			t.Fatalf("event %d: cycle %d, want %d (oldest-first suffix)", i, e.Cycle, want)
+		}
+	}
+	if c.Empty() {
+		t.Fatal("non-empty collector reports Empty")
+	}
+	if !trace.NewCollector(4).Empty() {
+		t.Fatal("fresh collector not Empty")
+	}
+}
+
+// TestKindStrings pins the name table: every kind has a distinct non-empty
+// encoding that decodes back to itself, and unknown names are rejected.
+func TestKindStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range trace.Kinds() {
+		s := k.String()
+		if s == "" || s == "unknown" || seen[s] {
+			t.Fatalf("kind %d encodes to %q", k, s)
+		}
+		seen[s] = true
+		back, ok := trace.KindFromString(s)
+		if !ok || back != k {
+			t.Fatalf("kind %v does not round-trip through %q", k, s)
+		}
+	}
+	if _, ok := trace.KindFromString("no-such-kind"); ok {
+		t.Fatal("KindFromString accepted an unknown name")
+	}
+}

@@ -1,0 +1,259 @@
+// Cross-layer invariant suite for the observability layer: every benchmark
+// is run with a streaming checker attached as both Tracer and MetricsSink,
+// and the event stream is reconciled against the simulation's own
+// statistics. The checker lives in package trace_test so it can drive real
+// runs through the bench harness without an import cycle.
+package trace_test
+
+import (
+	"fmt"
+	"testing"
+
+	"fifer/internal/apps"
+	"fifer/internal/bench"
+	"fifer/internal/core"
+	"fifer/internal/trace"
+)
+
+// checker is a streaming Tracer+MetricsSink that verifies event-stream
+// invariants as they happen (no buffering of the full stream) and
+// accumulates the totals reconciled against core.Result afterwards.
+type checker struct {
+	t *testing.T
+
+	lastCycle map[int]uint64 // per-PE last event cycle (monotonicity)
+
+	reconfigOpen  map[int]bool // per-PE: begin seen, end pending
+	reconfigBegin map[int]int
+	reconfigEnd   map[int]int
+
+	switches map[int]int // per-PE stage-switch events
+
+	queueFull map[string]bool // per-queue: inside a full episode
+	fullEdges map[string]int
+	readyEdge map[string]int
+
+	drmIssues map[string]uint64
+	drmResps  map[string]uint64
+
+	creditOut map[string]int // per "queue#port": grants minus returns
+
+	stacks    map[int]core.CPIStack // per-PE accumulated metric deltas
+	rowCycles map[int]uint64        // per-PE last sample cycle
+
+	errs int
+}
+
+func newChecker(t *testing.T) *checker {
+	return &checker{
+		t:             t,
+		lastCycle:     map[int]uint64{},
+		reconfigOpen:  map[int]bool{},
+		reconfigBegin: map[int]int{},
+		reconfigEnd:   map[int]int{},
+		switches:      map[int]int{},
+		queueFull:     map[string]bool{},
+		fullEdges:     map[string]int{},
+		readyEdge:     map[string]int{},
+		drmIssues:     map[string]uint64{},
+		drmResps:      map[string]uint64{},
+		creditOut:     map[string]int{},
+		stacks:        map[int]core.CPIStack{},
+		rowCycles:     map[int]uint64{},
+	}
+}
+
+// fail reports one streaming violation without flooding the log.
+func (c *checker) fail(format string, args ...any) {
+	c.errs++
+	if c.errs <= 10 {
+		c.t.Errorf(format, args...)
+	}
+}
+
+func (c *checker) Emit(e trace.Event) {
+	if last, ok := c.lastCycle[e.PE]; ok && e.Cycle < last {
+		c.fail("pe%d: event cycle went backwards: %d after %d (%v %s)", e.PE, e.Cycle, last, e.Kind, e.Name)
+	}
+	c.lastCycle[e.PE] = e.Cycle
+
+	switch e.Kind {
+	case trace.KindReconfigBegin:
+		if c.reconfigOpen[e.PE] {
+			c.fail("pe%d: reconfig-begin at cycle %d with a reconfiguration already open", e.PE, e.Cycle)
+		}
+		c.reconfigOpen[e.PE] = true
+		c.reconfigBegin[e.PE]++
+	case trace.KindReconfigEnd:
+		if !c.reconfigOpen[e.PE] {
+			c.fail("pe%d: reconfig-end at cycle %d without a matching begin", e.PE, e.Cycle)
+		}
+		c.reconfigOpen[e.PE] = false
+		c.reconfigEnd[e.PE]++
+	case trace.KindStageSwitch:
+		c.switches[e.PE]++
+	case trace.KindQueueFull:
+		if c.queueFull[e.Name] {
+			c.fail("queue %s: two full edges in a row at cycle %d", e.Name, e.Cycle)
+		}
+		c.queueFull[e.Name] = true
+		c.fullEdges[e.Name]++
+	case trace.KindQueueReady:
+		if !c.queueFull[e.Name] {
+			c.fail("queue %s: ready edge without a preceding full at cycle %d", e.Name, e.Cycle)
+		}
+		c.queueFull[e.Name] = false
+		c.readyEdge[e.Name]++
+	case trace.KindDRMIssue:
+		c.drmIssues[e.Name]++
+	case trace.KindDRMResponse:
+		c.drmResps[e.Name]++
+	case trace.KindCreditGrant:
+		c.creditOut[fmt.Sprintf("%s#%d", e.Name, e.Arg)]++
+	case trace.KindCreditReturn:
+		k := fmt.Sprintf("%s#%d", e.Name, e.Arg)
+		c.creditOut[k]--
+		if c.creditOut[k] < 0 {
+			c.fail("credits %s: more returns than grants at cycle %d", k, e.Cycle)
+		}
+	case trace.KindCheckpoint:
+		if e.PE != -1 {
+			c.fail("checkpoint event carries PE %d, want -1", e.PE)
+		}
+	default:
+		c.fail("unknown event kind %d at cycle %d", e.Kind, e.Cycle)
+	}
+}
+
+func (c *checker) SampleRow(r trace.MetricsRow) {
+	if last, ok := c.rowCycles[r.PE]; ok && r.Cycle <= last {
+		c.fail("pe%d: metrics sample cycle not increasing: %d after %d", r.PE, r.Cycle, last)
+	}
+	c.rowCycles[r.PE] = r.Cycle
+	s := c.stacks[r.PE]
+	s.Issued += r.Issued
+	s.Stall += r.Stall
+	s.Queue += r.Queue
+	s.Reconfig += r.Reconfig
+	s.Idle += r.Idle
+	c.stacks[r.PE] = s
+	if r.QueueTokens < 0 || r.DRMInflight < 0 {
+		c.fail("pe%d: negative gauge at cycle %d: qtokens=%d inflight=%d", r.PE, r.Cycle, r.QueueTokens, r.DRMInflight)
+	}
+}
+
+// reconcile compares the stream's totals against the run's own statistics.
+func (c *checker) reconcile(res core.Result) {
+	var begins, ends uint64
+	for pe, open := range c.reconfigOpen {
+		if open {
+			c.fail("pe%d: reconfiguration still open at end of run", pe)
+		}
+	}
+	for _, n := range c.reconfigBegin {
+		begins += uint64(n)
+	}
+	for _, n := range c.reconfigEnd {
+		ends += uint64(n)
+	}
+	if begins != ends {
+		c.fail("reconfig begin/end unbalanced: %d begins, %d ends", begins, ends)
+	}
+	if begins != res.Reconfigs {
+		c.fail("reconfig events %d != Result.Reconfigs %d", begins, res.Reconfigs)
+	}
+
+	for pe, want := range res.PEActivations {
+		if got := uint64(c.switches[pe]); got != want {
+			c.fail("pe%d: %d stage-switch events != %d recorded activations", pe, got, want)
+		}
+	}
+
+	for q, full := range c.queueFull {
+		if full {
+			c.fail("queue %s: still full at end of a quiesced run", q)
+		}
+	}
+	for q, n := range c.fullEdges {
+		if m := c.readyEdge[q]; n != m {
+			c.fail("queue %s: %d full edges vs %d ready edges", q, n, m)
+		}
+	}
+
+	for d, issues := range c.drmIssues {
+		if resp := c.drmResps[d]; resp < issues {
+			c.fail("drm %s: %d responses < %d issues", d, resp, issues)
+		}
+	}
+
+	for k, out := range c.creditOut {
+		if out != 0 {
+			c.fail("credits %s: %d grant(s) never returned after quiesce", k, out)
+		}
+	}
+
+	for pe, want := range res.Stacks {
+		got := c.stacks[pe]
+		if got != want {
+			c.fail("pe%d: summed metric deltas %+v != final CPI stack %+v", pe, got, want)
+		}
+		if got.Total() != res.Cycles {
+			c.fail("pe%d: metric deltas sum to %d cycles, run took %d", pe, got.Total(), res.Cycles)
+		}
+	}
+}
+
+// run executes one benchmark with a checker attached and reconciles.
+func runChecked(t *testing.T, app, input string, kind apps.SystemKind) {
+	t.Helper()
+	chk := newChecker(t)
+	out, err := bench.RunOne(app, input, kind, false, bench.Options{Scale: 0, Seed: 1},
+		func(cfg *core.Config) {
+			cfg.Tracer = chk
+			cfg.Metrics = chk
+			cfg.MetricsCycles = 256
+		})
+	if err != nil {
+		t.Fatalf("%s/%s %v: %v", app, input, kind, err)
+	}
+	if len(chk.lastCycle) == 0 {
+		t.Fatalf("%s/%s %v: no events reached the tracer", app, input, kind)
+	}
+	chk.reconcile(out.Pipe)
+}
+
+// TestInvariantsAllApps streams every benchmark's full event and metrics
+// feed through the checker: per-PE cycle monotonicity, reconfig begin/end
+// pairing (count == Result.Reconfigs), stage-switch count == the PE's
+// Activations statistic, strict queue full/ready edge alternation with
+// end-of-run balance, per-DRM responses >= issues, credit conservation, and
+// CPI-stack metric deltas summing exactly to the final stacks and the run's
+// cycle count.
+func TestInvariantsAllApps(t *testing.T) {
+	for _, app := range bench.AppNames {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			t.Parallel()
+			runChecked(t, app, bench.InputsOf(app)[0], apps.FiferPipe)
+		})
+	}
+}
+
+// TestInvariantsStatic covers the static-pipeline system, whose PEs never
+// reconfigure: the suite additionally proves zero reconfig events there.
+func TestInvariantsStatic(t *testing.T) {
+	chk := newChecker(t)
+	out, err := bench.RunOne("BFS", bench.InputsOf("BFS")[0], apps.StaticPipe, false,
+		bench.Options{Scale: 0, Seed: 1}, func(cfg *core.Config) {
+			cfg.Tracer = chk
+			cfg.Metrics = chk
+			cfg.MetricsCycles = 256
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk.reconcile(out.Pipe)
+	if n := len(chk.reconfigBegin); n != 0 {
+		t.Errorf("static pipeline emitted reconfig events on %d PE(s)", n)
+	}
+}
