@@ -195,6 +195,44 @@ func BenchmarkAblationDRM(b *testing.B) {
 	}
 }
 
+// --- Per-application simulation benchmarks -----------------------------------
+//
+// One whole-simulation benchmark per app (first input, Fifer pipeline) with
+// simulated cycles/s as the reported metric. These are the perf trajectory
+// the BENCH_*.json baselines track; `fiferbench -perfjson` records the same
+// runs with an explicit fast-forward-vs-oracle comparison. The FastForward/
+// Oracle sub-benchmarks time the same simulation under both execution modes,
+// so `-bench BenchmarkRun` shows the event-horizon win directly.
+
+func benchRunApp(b *testing.B, app string) {
+	input := bench.InputsOf(app)[0]
+	for _, mode := range []struct {
+		name   string
+		oracle bool
+	}{{"FastForward", false}, {"Oracle", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			opt := benchOpt()
+			opt.NoFastForward = mode.oracle
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				out, err := bench.RunOne(app, input, fifer.FiferPipe, false, opt, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += out.Cycles
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+		})
+	}
+}
+
+func BenchmarkRunBFS(b *testing.B)   { benchRunApp(b, "BFS") }
+func BenchmarkRunCC(b *testing.B)    { benchRunApp(b, "CC") }
+func BenchmarkRunPRD(b *testing.B)   { benchRunApp(b, "PRD") }
+func BenchmarkRunRadii(b *testing.B) { benchRunApp(b, "Radii") }
+func BenchmarkRunSpMM(b *testing.B)  { benchRunApp(b, "SpMM") }
+func BenchmarkRunSilo(b *testing.B)  { benchRunApp(b, "Silo") }
+
 // --- Substrate micro-benchmarks ---------------------------------------------
 
 func BenchmarkQueueEnqDeq(b *testing.B) {

@@ -27,6 +27,14 @@
 // -sample N sets the sample period in cycles. Tracing only observes the
 // simulation — every table stays byte-identical with or without it.
 //
+// Performance: the simulator fast-forwards provably-inert cycles by default
+// (DESIGN.md §10); -no-fast-forward runs the naive per-cycle loop instead —
+// results are byte-identical, only wall time changes. -perfjson FILE skips
+// the experiments and instead times every app both ways, writing the
+// baseline (cycles/s, wall time, speedup) as JSON; scripts/bench.sh wraps
+// this to refresh BENCH_<n>.json. -cpuprofile/-memprofile write pprof
+// profiles of whatever the invocation ran (see EXPERIMENTS.md §profiling).
+//
 // Crash-safe sweeps: -journal FILE appends every finished job to a
 // checksummed JSONL journal; -resume (with the same -journal and workload
 // flags) replays the completed jobs and runs only the remainder, producing
@@ -44,6 +52,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -69,13 +78,52 @@ func fiferbench() int {
 	tracePath := flag.String("trace", "", "write per-simulation event traces to this Chrome/Perfetto JSON file")
 	metricsPath := flag.String("metrics", "", "write periodic per-PE metrics samples to this file (.csv extension = CSV, else JSONL)")
 	sample := flag.Uint64("sample", 0, "metrics sample period in cycles (0 = default 4096)")
+	perfJSON := flag.String("perfjson", "", "instead of experiments, time each app fast-forward vs oracle and write the perf baseline to this JSON file")
+	noFF := flag.Bool("no-fast-forward", false, "run the naive per-cycle loop instead of the event-horizon fast-forward (identical results, slower)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	flag.Parse()
 
 	opt := bench.Options{Scale: *scale, Seed: *seed, Jobs: *jobs,
 		WatchdogCycles: *watchdog, AuditCycles: *audit,
-		JobTimeout: *jobTimeout, Retries: *retries}
+		JobTimeout: *jobTimeout, Retries: *retries,
+		NoFastForward: *noFF}
 	if *appsFlag != "" {
 		opt.Apps = strings.Split(*appsFlag, ",")
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fiferbench: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "fiferbench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			runtime.GC() // settle the heap so the profile shows live data
+			write := func(w io.Writer) error { return pprof.Lookup("allocs").WriteTo(w, 0) }
+			if err := writeFileWith(path, write); err != nil {
+				fmt.Fprintf(os.Stderr, "fiferbench: memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	if *perfJSON != "" {
+		if err := runPerfJSON(*perfJSON, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "fiferbench: perfjson: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 	var sink *bench.TraceSink
 	if *tracePath != "" || *metricsPath != "" {

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"fifer/internal/apps"
+	"fifer/internal/bench"
+)
+
+// The -perfjson mode records the simulator's performance baseline: every
+// selected app's first input is simulated twice on the Fifer pipeline —
+// once with the default event-horizon fast-forward and once with the
+// Config.NoFastForward oracle loop — and the wall times, simulated
+// cycles/second, and speedups land in one JSON document (BENCH_<n>.json in
+// the repo root, by convention). Simulated cycle counts are deterministic
+// and double-checked equal between the two modes; wall times are whatever
+// the host delivered, which is the point of a perf baseline.
+
+// perfSchema tags perf baseline files; bump on incompatible changes.
+const perfSchema = "fifer-perf-v1"
+
+// perfApp is one application's timing comparison.
+type perfApp struct {
+	App                string  `json:"app"`
+	Input              string  `json:"input"`
+	Kind               string  `json:"kind"`
+	Cycles             uint64  `json:"cycles"` // simulated, identical in both modes
+	WallNSFast         int64   `json:"wall_ns_fast"`
+	WallNSOracle       int64   `json:"wall_ns_oracle"`
+	CyclesPerSecFast   float64 `json:"cycles_per_sec_fast"`
+	CyclesPerSecOracle float64 `json:"cycles_per_sec_oracle"`
+	Speedup            float64 `json:"speedup"` // oracle wall / fast wall
+}
+
+// perfFile is the whole baseline document.
+type perfFile struct {
+	Schema       string    `json:"schema"`
+	Scale        int       `json:"scale"`
+	Seed         uint64    `json:"seed"`
+	GoVersion    string    `json:"go_version"`
+	NumCPU       int       `json:"num_cpu"`
+	Apps         []perfApp `json:"apps"`
+	TotalSpeedup float64   `json:"total_speedup"` // sum(oracle wall) / sum(fast wall)
+}
+
+// runPerfJSON measures every selected app and writes the baseline to path.
+func runPerfJSON(path string, opt bench.Options) error {
+	names := opt.Apps
+	if len(names) == 0 {
+		names = bench.AppNames
+	}
+	pf := perfFile{Schema: perfSchema, Scale: opt.Scale, Seed: opt.Seed,
+		GoVersion: runtime.Version(), NumCPU: runtime.NumCPU()}
+	var totalFast, totalOracle time.Duration
+	for _, app := range names {
+		input := bench.InputsOf(app)[0]
+		timed := func(oracle bool) (apps.Outcome, time.Duration, error) {
+			o := opt
+			o.Jobs = 1
+			o.NoFastForward = oracle
+			start := time.Now()
+			out, err := bench.RunOne(app, input, apps.FiferPipe, false, o, nil)
+			return out, time.Since(start), err
+		}
+		fastOut, fastD, err := timed(false)
+		if err != nil {
+			return fmt.Errorf("%s/%s fast-forward: %w", app, input, err)
+		}
+		oracleOut, oracleD, err := timed(true)
+		if err != nil {
+			return fmt.Errorf("%s/%s oracle: %w", app, input, err)
+		}
+		if !reflect.DeepEqual(fastOut, oracleOut) {
+			return fmt.Errorf("%s/%s: fast-forward outcome differs from the oracle loop — fast-forward bug, do not trust this baseline", app, input)
+		}
+		row := perfApp{
+			App: app, Input: input, Kind: apps.FiferPipe.String(),
+			Cycles:             fastOut.Cycles,
+			WallNSFast:         fastD.Nanoseconds(),
+			WallNSOracle:       oracleD.Nanoseconds(),
+			CyclesPerSecFast:   float64(fastOut.Cycles) / fastD.Seconds(),
+			CyclesPerSecOracle: float64(oracleOut.Cycles) / oracleD.Seconds(),
+			Speedup:            float64(oracleD) / float64(fastD),
+		}
+		pf.Apps = append(pf.Apps, row)
+		totalFast += fastD
+		totalOracle += oracleD
+		fmt.Fprintf(os.Stderr, "perf %-6s %-8s %12d cycles  fast %10v  oracle %10v  speedup %.2fx\n",
+			app, input, row.Cycles, fastD.Round(time.Microsecond), oracleD.Round(time.Microsecond), row.Speedup)
+	}
+	pf.TotalSpeedup = float64(totalOracle) / float64(totalFast)
+	fmt.Fprintf(os.Stderr, "perf total: fast %v, oracle %v, speedup %.2fx\n",
+		totalFast.Round(time.Microsecond), totalOracle.Round(time.Microsecond), pf.TotalSpeedup)
+	data, err := json.MarshalIndent(pf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

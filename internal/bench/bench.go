@@ -82,6 +82,13 @@ type Options struct {
 	// the per-job Override, so an override that sets Config.Tracer (or
 	// Metrics/MetricsCycles) wins.
 	Trace *TraceSink
+
+	// NoFastForward runs every simulation with the naive per-cycle loop
+	// instead of the event-horizon fast-forward (core.Config.NoFastForward)
+	// — the differential oracle. Results are bit-identical either way; only
+	// wall-clock time differs. Applied before the per-job Override, which
+	// wins as usual.
+	NoFastForward bool
 }
 
 // DefaultOptions returns the standard harness configuration.
@@ -162,6 +169,9 @@ func RunOne(app, input string, kind apps.SystemKind, merged bool, opt Options, o
 			cfg.Tracer = col
 			cfg.Metrics = col
 			cfg.MetricsCycles = opt.Trace.SampleCycles
+		}
+		if opt.NoFastForward {
+			cfg.NoFastForward = true
 		}
 		if user != nil {
 			user(cfg)

@@ -41,6 +41,10 @@ func (s *System) AuditLive() error {
 			return auditErr("sram-accounting", "pe%d: queues occupy %d B but %d B are accounted (budget %d B)",
 				pe.ID, footprint, used, pe.QMem.TotalBytes())
 		}
+		if inc, rescan, ok := pe.QMem.CheckBuffered(); !ok {
+			return auditErr("queue-occupancy", "pe%d: incremental buffered count %d != rescan %d",
+				pe.ID, inc, rescan)
+		}
 		for _, d := range pe.DRMs {
 			if err := auditQueue(d.in); err != nil {
 				return err
@@ -49,7 +53,7 @@ func (s *System) AuditLive() error {
 			// token and its boundary control token in one issue, so the
 			// reorder buffer can briefly hold one entry beyond the
 			// outstanding-access bound; anything past that is corruption.
-			if got := len(d.inflight); got > d.max+1 {
+			if got := d.inflight.Len(); got > d.max+1 {
 				return auditErr("drm-inflight", "%s: %d entries in flight, bound is %d (+1 boundary slack)",
 					d.Name(), got, d.max)
 			}

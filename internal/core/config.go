@@ -66,6 +66,14 @@ type Config struct {
 
 	MaxCycles uint64 // safety limit; Run fails beyond this
 
+	// NoFastForward disables the event-horizon fast-forward (horizon.go) and
+	// makes Run tick every cycle naively. Fast-forward produces bit-identical
+	// results — the differential suite holds every run surface (Result,
+	// goldens, journal CRCs, metrics, traces) equal between the two loops —
+	// so this exists as the test oracle and as an escape hatch, not a mode
+	// anyone should need.
+	NoFastForward bool
+
 	// WatchdogCycles is the progress watchdog's window: if no component of
 	// the system (datapath firings, queue traffic, memory accesses,
 	// reconfiguration completions) makes progress for this many cycles, Run

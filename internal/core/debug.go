@@ -72,7 +72,7 @@ func (s *System) Dump() string {
 		}
 		for _, d := range pe.DRMs {
 			if d.Busy() {
-				fmt.Fprintf(&b, "  drm %s mode=%v busy in=%d inflight=%d\n", d.Name(), d.Mode(), d.In().Len(), len(d.inflight))
+				fmt.Fprintf(&b, "  drm %s mode=%v busy in=%d inflight=%d\n", d.Name(), d.Mode(), d.In().Len(), d.inflight.Len())
 			}
 		}
 	}

@@ -60,9 +60,16 @@ type DRM struct {
 	// (Sec. 5.5); it fires even for empty ranges so streams stay aligned.
 	boundary bool
 
-	inflight  []drmEntry
+	inflight  inflightRing
 	lastReady uint64
 	respExtra uint64 // fault injection: extra latency on every response
+
+	// Event-horizon bookkeeping (see horizon.go), rewritten by every Tick:
+	// wake is the earliest future cycle this DRM could act; outBlocked marks
+	// the one inert state with a per-cycle side effect (a ready head token
+	// against a full output counts OutFull every cycle until space appears).
+	wake       uint64
+	outBlocked bool
 
 	// tracer/pe are set by the owning PE's wireTrace; nil tracer (the
 	// default) reduces every emission site to one branch.
@@ -85,6 +92,53 @@ type drmEntry struct {
 	ready uint64
 }
 
+// inflightRing is the DRM's in-order reorder buffer as a power-of-two ring:
+// completion pops the front in O(1) instead of the O(n) copy-shift a slice
+// would need on every delivered token. It grows (it never needs to — NewDRM
+// sizes it past the max+1 boundary-token bound the audit enforces — but
+// growth is cheaper than a corruption class).
+type inflightRing struct {
+	buf  []drmEntry // len(buf) is a power of two
+	head int
+	n    int
+}
+
+func newInflightRing(capHint int) inflightRing {
+	c := 4
+	for c < capHint {
+		c <<= 1
+	}
+	return inflightRing{buf: make([]drmEntry, c)}
+}
+
+func (r *inflightRing) Len() int         { return r.n }
+func (r *inflightRing) front() *drmEntry { return &r.buf[r.head] }
+func (r *inflightRing) at(i int) *drmEntry {
+	return &r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+func (r *inflightRing) push(e drmEntry) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = e
+	r.n++
+}
+
+func (r *inflightRing) popFront() {
+	r.buf[r.head] = drmEntry{}
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+}
+
+func (r *inflightRing) grow() {
+	nb := make([]drmEntry, len(r.buf)*2)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = nb, 0
+}
+
 // NewDRM creates an unconfigured DRM. The input queue is allocated by the
 // caller. issueWidth is the accesses the DRM can launch (and results it can
 // deliver) per cycle — graph edge-list accesses are launched in parallel
@@ -96,7 +150,12 @@ func NewDRM(name string, in *queue.Queue, port *mem.Port, maxOutstanding, issueW
 	if issueWidth < 1 {
 		issueWidth = 1
 	}
-	return &DRM{name: name, in: in, port: port, max: maxOutstanding, width: issueWidth}
+	return &DRM{
+		name: name, in: in, port: port, max: maxOutstanding, width: issueWidth,
+		// +2: the audit allows max+1 entries (boundary tokens), and the ring
+		// must never have to grow on the hot path.
+		inflight: newInflightRing(maxOutstanding + 2),
+	}
 }
 
 // Configure sets the DRM's mode and output; it is called once at program
@@ -128,7 +187,7 @@ func (d *DRM) InPort() stage.OutPort { return stage.LocalPort{Q: d.in} }
 func (d *DRM) Out() stage.OutPort { return d.out }
 
 // Inflight returns the number of accesses currently in flight.
-func (d *DRM) Inflight() int { return len(d.inflight) }
+func (d *DRM) Inflight() int { return d.inflight.Len() }
 
 // MaxOutstanding returns the in-flight access bound.
 func (d *DRM) MaxOutstanding() int { return d.max }
@@ -136,33 +195,55 @@ func (d *DRM) MaxOutstanding() int { return d.max }
 // Busy reports whether the DRM has pending work: buffered addresses,
 // in-flight accesses, or an active scan range.
 func (d *DRM) Busy() bool {
-	return d.mode != DRMIdle && (!d.in.Empty() || len(d.inflight) > 0 || d.scanEnd != 0 || d.strideLeft > 0)
+	return d.mode != DRMIdle && (!d.in.Empty() || d.inflight.Len() > 0 || d.scanEnd != 0 || d.strideLeft > 0)
 }
 
 // Tick advances the DRM by one cycle: complete up to issue-width ready
 // accesses if the output has space, then issue up to issue-width new ones.
+// It also publishes the DRM's wake cycle for the event-horizon kernel
+// (horizon.go): now+1 after any progress, the head entry's ready cycle when
+// only time separates the DRM from delivering, and horizonNever when only an
+// external change (new addresses, output space) can unblock it.
 func (d *DRM) Tick(now uint64) {
+	d.wake = horizonNever
+	d.outBlocked = false
 	if d.mode == DRMIdle {
 		return
 	}
+	progressed := false
 	// Completion (in order).
-	for k := 0; k < d.width && len(d.inflight) > 0 && d.inflight[0].ready <= now; k++ {
-		tok := d.inflight[0].tok
+	for k := 0; k < d.width && d.inflight.Len() > 0 && d.inflight.front().ready <= now; k++ {
+		tok := d.inflight.front().tok
 		if !d.out.Push(tok) {
 			d.OutFull++
+			d.outBlocked = true
 			break
 		}
-		copy(d.inflight, d.inflight[1:])
-		d.inflight = d.inflight[:len(d.inflight)-1]
+		d.inflight.popFront()
 		d.Emitted++
+		progressed = true
 		if d.tracer != nil {
 			d.trace(now, trace.KindDRMResponse, tok.Value)
 		}
 	}
-	for k := 0; k < d.width && len(d.inflight) < d.max; k++ {
+	for k := 0; k < d.width && d.inflight.Len() < d.max; k++ {
 		if !d.issue(now) {
 			break
 		}
+		progressed = true
+	}
+	if progressed {
+		// Acted this cycle; it may act again next cycle. (This also covers a
+		// partial delivery that then hit a full output: the retry next cycle
+		// is what recounts OutFull, so outBlocked must not batch it.)
+		d.wake, d.outBlocked = now+1, false
+		return
+	}
+	if d.outBlocked {
+		return // wake stays horizonNever; advanceInert batches the OutFull count
+	}
+	if d.inflight.Len() > 0 {
+		d.wake = d.inflight.front().ready
 	}
 }
 
@@ -286,7 +367,7 @@ func (d *DRM) push(t queue.Token, ready uint64) {
 		ready = d.lastReady // in-order delivery
 	}
 	d.lastReady = ready
-	d.inflight = append(d.inflight, drmEntry{tok: t, ready: ready})
+	d.inflight.push(drmEntry{tok: t, ready: ready})
 }
 
 // FaultDelayResponses is a fault-injection hook (internal/faults): it pushes
@@ -296,10 +377,10 @@ func (d *DRM) push(t queue.Token, ready uint64) {
 // responses starve the downstream stage and traffic ceases. It returns the
 // number of in-flight accesses that were delayed.
 func (d *DRM) FaultDelayResponses(extra uint64) int {
-	for i := range d.inflight {
-		d.inflight[i].ready += extra
+	for i := 0; i < d.inflight.Len(); i++ {
+		d.inflight.at(i).ready += extra
 	}
 	d.lastReady += extra
 	d.respExtra += extra
-	return len(d.inflight)
+	return d.inflight.Len()
 }

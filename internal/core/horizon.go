@@ -1,0 +1,93 @@
+package core
+
+// Event-horizon fast-forward (DESIGN.md §10).
+//
+// Every PE.Tick publishes a wake cycle: the earliest future cycle at which
+// that PE — fabric or any of its DRMs — could possibly act. "Act" means any
+// state change beyond the fixed per-cycle bookkeeping of an inert machine:
+// firing, activating, beginning or finishing a reconfiguration, issuing or
+// delivering a DRM access, enqueueing or dequeueing a token. The sources:
+//
+//   - fabric reconfiguring:   wake = reconfigUntil (each cycle until then
+//     charges Reconfig; the activation at reconfigUntil is the action)
+//   - fabric stalled:         wake = stallUntil (charges Stall)
+//   - fabric blocked:         wake = the soonest cooldown expiry among
+//     ready-but-cooling stages (charges Queue or Idle); horizonNever when
+//     only another component's token flow can unblock it
+//   - fabric acted:           wake = now+1 (no window can start)
+//   - DRM head in flight:     wake = inflight.front().ready
+//   - DRM delivered/issued:   wake = now+1
+//   - DRM otherwise:          horizonNever (needs input tokens, output
+//     space, or a completion slot — all external)
+//
+// When every PE's wake lies strictly beyond the next cycle, every cycle up
+// to the minimum wake W is provably inert: no queue changes, no trace
+// events, no counter movement except the fixed per-cycle charges. Run then
+// jumps the clock to min(W, next observation boundary) and advanceInert
+// replays those fixed charges in one step — the same CPI-bucket increments,
+// the same 64-cycle queue-occupancy samples, the same OutFull counts, the
+// same sliding scheduler cooldown — leaving the machine in the exact state
+// the naive loop would have reached. Observation boundaries (watchdog
+// checkpoints, metrics samples, audits, cancellation polls, MaxCycles)
+// clamp the jump so every check still runs at its original cycle against
+// the same frozen state, which is why results are bit-identical to the
+// Config.NoFastForward oracle.
+//
+// Fast-forward never engages while OnCycle hooks are registered (fault
+// injectors mutate state at arbitrary cycles) and never crosses a cycle in
+// which any component could act, so the only behavioral assumption is the
+// kernel contract stage.Kernel already documents: a blocked TryFire consumes
+// nothing and is repeatable. The differential suite in internal/bench pins
+// the equivalence for every app.
+
+// horizonNever is the wake cycle of a component that cannot act again
+// without an external state change.
+const horizonNever = ^uint64(0)
+
+// advanceInert batch-executes the inert cycles [s.Cycle, to): it applies
+// exactly the per-cycle side effects the naive loop would have applied —
+// one CPI-bucket charge per PE per cycle, the 64-cycle queue-memory
+// sampling rhythm, blocked-DRM OutFull counts, and the sliding scheduler
+// cooldown — then sets the clock to `to`. The caller guarantees every PE's
+// wake is ≥ to, hooks are absent, and no observation boundary lies inside
+// (s.Cycle, to).
+func (s *System) advanceInert(to uint64) {
+	from := s.Cycle
+	k := to - from
+	for _, pe := range s.PEs {
+		pe.advanceInert(to, k)
+	}
+	// Multiples of 64 in [from, to): each is a cycle whose tick the naive
+	// loop would have followed with a QMem.Sample(). Occupancies are frozen,
+	// so the samples batch into one SampleN per queue.
+	if n64 := (to-1)/64 - (from-1)/64; n64 > 0 {
+		for _, pe := range s.PEs {
+			pe.QMem.SampleN(n64)
+		}
+	}
+	s.Cycle = to
+}
+
+// advanceInert applies k inert cycles (ending at cycle to-1) to one PE.
+func (p *PE) advanceInert(to, k uint64) {
+	switch p.inertBucket {
+	case bucketReconfig:
+		p.Stack.Reconfig += k
+	case bucketStall:
+		p.Stack.Stall += k
+	case bucketQueue:
+		p.Stack.Queue += k
+	case bucketIdle:
+		p.Stack.Idle += k
+	}
+	if p.slideCooldown {
+		// The naive loop re-arms the fruitless activation's cooldown every
+		// blocked cycle; only the final value is ever observable.
+		p.cooldownUntil[p.active] = (to - 1) + schedCooldown
+	}
+	for _, d := range p.DRMs {
+		if d.outBlocked {
+			d.OutFull += k
+		}
+	}
+}

@@ -56,7 +56,7 @@ func (s *System) sampleMetrics() {
 		prev := s.lastStacks[i]
 		infl := 0
 		for _, d := range pe.DRMs {
-			infl += len(d.inflight)
+			infl += d.inflight.Len()
 		}
 		s.Cfg.Metrics.SampleRow(trace.MetricsRow{
 			Cycle:       s.Cycle,

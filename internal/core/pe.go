@@ -36,6 +36,21 @@ type PE struct {
 	cooldownUntil []uint64
 	firedSinceAct bool
 
+	// Event-horizon bookkeeping (horizon.go), rewritten by every Tick:
+	// wake is the earliest future cycle this PE (fabric or any DRM) could
+	// act; inertBucket is the CPI bucket every cycle until then charges; and
+	// slideCooldown marks the fruitless-activation state whose per-cycle
+	// side effect (re-arming cooldownUntil[active]) advanceInert must replay.
+	wake          uint64
+	inertBucket   inertBucket
+	slideCooldown bool
+
+	// Per-tick stage snapshot (scanStages): InputWork and readiness of every
+	// resident stage, computed once per blocked cycle and shared by pick,
+	// cooldownWake, and accountBlocked instead of each rescanning the queues.
+	scanWork  []int
+	scanReady []bool
+
 	// Statistics.
 	Stack        CPIStack
 	SumResidence uint64 // total cycles between consecutive activations
@@ -45,6 +60,19 @@ type PE struct {
 	lastActivate uint64
 	ctx          stage.Ctx
 }
+
+// inertBucket names the single CPIStack bucket a provably inert PE charges
+// on every cycle of a fast-forward window. bucketNone marks a PE that acted
+// this cycle (its wake is now+1, so no window can include it).
+type inertBucket uint8
+
+const (
+	bucketNone inertBucket = iota
+	bucketReconfig
+	bucketStall
+	bucketQueue
+	bucketIdle
+)
 
 // schedCooldown is the exclusion window after a fruitless activation.
 const schedCooldown = 64
@@ -103,6 +131,19 @@ func (p *PE) AddStage(s *stage.Stage) {
 	}
 	p.stages = append(p.stages, s)
 	p.cooldownUntil = append(p.cooldownUntil, 0)
+	p.scanWork = append(p.scanWork, 0)
+	p.scanReady = append(p.scanReady, false)
+}
+
+// scanStages snapshots every resident stage's scheduler inputs for this
+// tick. Queue state is frozen within a blocked cycle, so one pass serves
+// every consumer.
+func (p *PE) scanStages() {
+	for i, s := range p.stages {
+		w := s.InputWork()
+		p.scanWork[i] = w
+		p.scanReady[i] = w > 0 && !s.OutputsBlocked()
+	}
 }
 
 // Stages returns the resident stages.
@@ -136,14 +177,32 @@ func (p *PE) Busy(now uint64) bool {
 }
 
 // Tick advances the PE by one cycle. Exactly one CPIStack bucket is
-// incremented per call.
+// incremented per call. It also publishes the PE's wake cycle — the minimum
+// over the fabric's and every DRM's — for the event-horizon kernel.
 func (p *PE) Tick(now uint64) {
+	wake := horizonNever
 	for _, d := range p.DRMs {
 		d.Tick(now)
+		if d.wake < wake {
+			wake = d.wake
+		}
 	}
+	fabricWake, bucket, slide := p.tickFabric(now)
+	if fabricWake < wake {
+		wake = fabricWake
+	}
+	p.wake, p.inertBucket, p.slideCooldown = wake, bucket, slide
+}
+
+// tickFabric runs one cycle of the fabric (everything in Tick except the
+// DRMs) and returns the fabric's wake cycle, the CPI bucket an inert window
+// starting next cycle would charge, and whether the blocked-without-firing
+// cooldown keeps sliding. Action cycles return (now+1, bucketNone, false):
+// conservatively, the next cycle must be simulated for real.
+func (p *PE) tickFabric(now uint64) (uint64, inertBucket, bool) {
 	if now < p.reconfigUntil {
 		p.Stack.Reconfig++
-		return
+		return p.reconfigUntil, bucketReconfig, false
 	}
 	if p.pending >= 0 {
 		if p.sys.tracer != nil {
@@ -154,22 +213,26 @@ func (p *PE) Tick(now uint64) {
 	}
 	if now < p.stallUntil {
 		p.Stack.Stall++
-		return
+		return p.stallUntil, bucketStall, false
 	}
 	if p.active < 0 {
 		// Nothing ever activated: pick the first ready stage (free initial
 		// configuration at program start, as in the paper's setup phase).
+		p.scanStages()
 		if idx := p.pick(now, -1); idx >= 0 {
 			p.activate(now, idx)
 		} else {
-			p.accountBlocked(stage.NoInput)
-			return
+			return p.cooldownWake(now, -1), p.accountBlocked(stage.NoInput), false
 		}
 	}
 	s := p.stages[p.active]
 	fired := 0
 	blocked := stage.Sleep
-	p.ctx = stage.Ctx{Now: now, In: s.In, Out: s.Out, Mem: p.Mem}
+	// In/Out/Mem were hoisted into p.ctx at activation; only the per-cycle
+	// fields are reset here.
+	p.ctx.Now = now
+	p.ctx.ExtraStall = 0
+	p.ctx.FiredCtrl = false
 	width := s.Width()
 	for i := 0; i < width; i++ {
 		st := s.Kernel.TryFire(&p.ctx)
@@ -191,9 +254,11 @@ func (p *PE) Tick(now uint64) {
 		if p.ctx.ExtraStall > 0 {
 			p.stallUntil = now + 1 + p.ctx.ExtraStall
 		}
-		return
+		return now + 1, bucketNone, false
 	}
 	// Blocked. In Fifer mode, ask the scheduler for another stage.
+	p.scanStages()
+	slide := false
 	if p.cfg.Mode == ModeFifer && len(p.stages) > 1 {
 		if !p.firedSinceAct {
 			// This configuration never fired: it looked ready but is
@@ -201,25 +266,43 @@ func (p *PE) Tick(now uint64) {
 			// so the scheduler explores other stages instead of ping-
 			// ponging between mutually blocked ones.
 			p.cooldownUntil[p.active] = now + schedCooldown
+			slide = true
 		}
 		if idx := p.pick(now, p.active); idx >= 0 {
 			p.beginReconfig(now, idx)
 			p.Stack.Reconfig++
-			return
+			return now + 1, bucketNone, false
 		}
 	}
-	p.accountBlocked(blocked)
+	return p.cooldownWake(now, p.active), p.accountBlocked(blocked), slide
+}
+
+// cooldownWake returns the earliest future cycle at which pick(cycle, except)
+// could newly succeed with today's queue state: the soonest cooldown expiry
+// among stages that are ready but cooling. With none, only external token
+// flow — some other component's action — can unblock this PE.
+func (p *PE) cooldownWake(now uint64, except int) uint64 {
+	w := horizonNever
+	for i := range p.stages {
+		if i == except || !p.scanReady[i] {
+			continue
+		}
+		if cu := p.cooldownUntil[i]; now < cu && cu < w {
+			w = cu
+		}
+	}
+	return w
 }
 
 // pick implements the scheduling policy over stages other than `except`,
 // returning -1 when no stage is ready.
 func (p *PE) pick(now uint64, except int) int {
 	best, bestWork := -1, 0
-	for i, s := range p.stages {
-		if i == except || now < p.cooldownUntil[i] || !s.Ready() {
+	for i := range p.stages {
+		if i == except || now < p.cooldownUntil[i] || !p.scanReady[i] {
 			continue
 		}
-		w := s.InputWork()
+		w := p.scanWork[i]
 		switch p.cfg.SchedPolicy {
 		case PolicyMostWork:
 			if w > bestWork {
@@ -293,33 +376,39 @@ func (p *PE) activate(now uint64, idx int) {
 	p.Activations++
 	p.active = idx
 	p.firedSinceAct = false
+	// Hoist the per-cycle Ctx rebuild: In/Out/Mem only change on activation
+	// (stage ports are wired once, at program build).
+	s := p.stages[idx]
+	p.ctx.In, p.ctx.Out, p.ctx.Mem = s.In, s.Out, p.Mem
 	if p.sys.tracer != nil {
-		p.trace(now, trace.KindStageSwitch, p.stages[idx].Name(), uint64(idx))
+		p.trace(now, trace.KindStageSwitch, s.Name(), uint64(idx))
 	}
 }
 
-// accountBlocked attributes a non-firing cycle to the queue or idle bucket.
-// A PE is "idle" only when completely inactive — no resident stage has any
-// input work and no DRM is busy — i.e., it is waiting on other PEs. Any
-// other blockage is a full/empty-queue stall.
-func (p *PE) accountBlocked(st stage.Status) {
+// accountBlocked attributes a non-firing cycle to the queue or idle bucket
+// and returns the bucket it charged (the bucket an inert window would keep
+// charging). A PE is "idle" only when completely inactive — no resident
+// stage has any input work and no DRM is busy — i.e., it is waiting on
+// other PEs. Any other blockage is a full/empty-queue stall.
+func (p *PE) accountBlocked(st stage.Status) inertBucket {
 	if st == stage.NoOutput {
 		p.Stack.Queue++
-		return
+		return bucketQueue
 	}
-	for _, s := range p.stages {
-		if s.InputWork() > 0 {
+	for i := range p.stages {
+		if p.scanWork[i] > 0 {
 			p.Stack.Queue++
-			return
+			return bucketQueue
 		}
 	}
 	for _, d := range p.DRMs {
 		if d.Busy() {
 			p.Stack.Queue++
-			return
+			return bucketQueue
 		}
 	}
 	p.Stack.Idle++
+	return bucketIdle
 }
 
 // Reconfiguring reports whether the PE is inside a reconfiguration period

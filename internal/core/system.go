@@ -209,6 +209,45 @@ func (s *System) Run(prog Program) (res Result, err error) {
 	}
 	lastSig := s.progressSig()
 	lastProgress := s.Cycle
+	// checks runs the per-cycle observation points at the current (already
+	// incremented) cycle, in the order the loop has always run them:
+	// cancellation poll, metrics sample, watchdog checkpoint, invariant
+	// audit, cycle budget. The fast-forward path calls it too, after landing
+	// the clock exactly on the next boundary, so every observation happens
+	// at its original cycle against the same state in both loops.
+	checks := func() (stop bool, err error) {
+		if cancelEvery > 0 && s.Cycle%cancelEvery == 0 {
+			select {
+			case <-s.Cfg.Done:
+				return true, s.canceledError()
+			default:
+			}
+		}
+		if sampleEvery > 0 && s.Cycle%sampleEvery == 0 {
+			s.sampleMetrics()
+		}
+		if wdInterval > 0 && s.Cycle%wdInterval == 0 {
+			sig := s.progressSig()
+			if s.tracer != nil {
+				s.tracer.Emit(trace.Event{Cycle: s.Cycle, PE: -1,
+					Kind: trace.KindCheckpoint, Name: "watchdog", Arg: sig.firings})
+			}
+			if sig == lastSig {
+				return true, s.deadlockError(lastProgress)
+			}
+			lastSig, lastProgress = sig, s.Cycle
+		}
+		if s.Cfg.AuditCycles > 0 && s.Cycle%s.Cfg.AuditCycles == 0 {
+			if aerr := s.AuditLive(); aerr != nil {
+				return true, aerr
+			}
+		}
+		if s.Cycle >= s.Cfg.MaxCycles {
+			return true, fmt.Errorf("%w: MaxCycles=%d (deadlock or runaway program)\n%s",
+				ErrMaxCycles, s.Cfg.MaxCycles, s.BlockedSummary(dumpExcerptLines))
+		}
+		return false, nil
+	}
 	for {
 		quiet := true
 		if len(s.hooks) > 0 {
@@ -216,8 +255,12 @@ func (s *System) Run(prog Program) (res Result, err error) {
 				f(s, s.Cycle)
 			}
 		}
+		sysWake := horizonNever
 		for _, pe := range s.PEs {
 			pe.Tick(s.Cycle)
+			if pe.wake < sysWake {
+				sysWake = pe.wake
+			}
 		}
 		if s.Cycle%64 == 0 {
 			for _, pe := range s.PEs {
@@ -237,35 +280,36 @@ func (s *System) Run(prog Program) (res Result, err error) {
 			}
 			res.Rounds++
 		}
-		if cancelEvery > 0 && s.Cycle%cancelEvery == 0 {
-			select {
-			case <-s.Cfg.Done:
-				return res, s.canceledError()
-			default:
-			}
+		if stop, cerr := checks(); stop {
+			return res, cerr
 		}
-		if sampleEvery > 0 && s.Cycle%sampleEvery == 0 {
-			s.sampleMetrics()
-		}
-		if wdInterval > 0 && s.Cycle%wdInterval == 0 {
-			sig := s.progressSig()
-			if s.tracer != nil {
-				s.tracer.Emit(trace.Event{Cycle: s.Cycle, PE: -1,
-					Kind: trace.KindCheckpoint, Name: "watchdog", Arg: sig.firings})
+		// Event-horizon fast-forward (horizon.go): when every PE just proved
+		// it cannot act before sysWake, batch-execute the inert cycles up to
+		// the earlier of sysWake and the next observation boundary, then run
+		// that boundary's checks at its original cycle. Skipped only when
+		// hooks are registered (fault injectors mutate state mid-window),
+		// when the system just quiesced (the program may have injected new
+		// work the stale wakes don't see), or with the NoFastForward oracle.
+		if !quiet && sysWake > s.Cycle && !s.Cfg.NoFastForward && len(s.hooks) == 0 {
+			w := sysWake
+			clampMult := func(period uint64) {
+				if period > 0 {
+					if next := (s.Cycle/period + 1) * period; next < w {
+						w = next
+					}
+				}
 			}
-			if sig == lastSig {
-				return res, s.deadlockError(lastProgress)
+			clampMult(cancelEvery)
+			clampMult(sampleEvery)
+			clampMult(wdInterval)
+			clampMult(s.Cfg.AuditCycles)
+			if s.Cfg.MaxCycles < w {
+				w = s.Cfg.MaxCycles
 			}
-			lastSig, lastProgress = sig, s.Cycle
-		}
-		if s.Cfg.AuditCycles > 0 && s.Cycle%s.Cfg.AuditCycles == 0 {
-			if aerr := s.AuditLive(); aerr != nil {
-				return res, aerr
+			s.advanceInert(w)
+			if stop, cerr := checks(); stop {
+				return res, cerr
 			}
-		}
-		if s.Cycle >= s.Cfg.MaxCycles {
-			return res, fmt.Errorf("%w: MaxCycles=%d (deadlock or runaway program)\n%s",
-				ErrMaxCycles, s.Cfg.MaxCycles, s.BlockedSummary(dumpExcerptLines))
 		}
 	}
 	res.Cycles = s.Cycle

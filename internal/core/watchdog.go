@@ -179,11 +179,11 @@ func (s *System) WaitFor() []WaitEdge {
 					WaitsOn: portName(d.out),
 					Reason:  "output full (no space or credits)",
 				})
-			case len(d.inflight) > 0:
+			case d.inflight.Len() > 0:
 				edges = append(edges, WaitEdge{
 					Waiter:  d.Name(),
 					WaitsOn: "memory",
-					Reason:  fmt.Sprintf("%d accesses in flight", len(d.inflight)),
+					Reason:  fmt.Sprintf("%d accesses in flight", d.inflight.Len()),
 				})
 			default:
 				edges = append(edges, WaitEdge{

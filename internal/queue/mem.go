@@ -13,6 +13,7 @@ type Mem struct {
 	usedBytes  int
 	queues     []*Queue
 	onAlloc    func(*Queue)
+	buffered   int // aggregate token occupancy, maintained by the queues
 }
 
 // NewMem returns a queue memory with the given SRAM capacity in bytes.
@@ -47,6 +48,7 @@ func (m *Mem) Alloc(name string, capTokens int) (*Queue, error) {
 			m.name, capTokens, need, name, m.FreeBytes())
 	}
 	q := NewQueue(name, capTokens)
+	q.occ = &m.buffered
 	m.usedBytes += need
 	m.queues = append(m.queues, q)
 	if m.onAlloc != nil {
@@ -72,12 +74,32 @@ func (m *Mem) Sample() {
 	}
 }
 
+// SampleN records k occupancy samples on every allocated queue in one step,
+// equivalent to k Sample calls over a window with no queue activity.
+func (m *Mem) SampleN(k uint64) {
+	for _, q := range m.queues {
+		q.SampleN(k)
+	}
+}
+
 // Buffered returns the total number of tokens currently resident across all
-// queues in this memory.
-func (m *Mem) Buffered() int {
+// queues in this memory. O(1): the queues maintain the aggregate count on
+// every enqueue/dequeue, because this is read on the simulator's hot path.
+func (m *Mem) Buffered() int { return m.buffered }
+
+// recountBuffered rescans every queue — the invariant audit cross-checks it
+// against the incremental counter.
+func (m *Mem) recountBuffered() int {
 	n := 0
 	for _, q := range m.queues {
 		n += q.Len()
 	}
 	return n
+}
+
+// CheckBuffered verifies the incremental occupancy counter against a full
+// rescan, returning both values; ok is false on drift.
+func (m *Mem) CheckBuffered() (incremental, rescan int, ok bool) {
+	rescan = m.recountBuffered()
+	return m.buffered, rescan, m.buffered == rescan
 }

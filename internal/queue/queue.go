@@ -47,6 +47,11 @@ type Queue struct {
 	// layer records. Nil (the default) costs one branch per enqueue and
 	// dequeue and nothing else.
 	edge func(full bool)
+
+	// occ, when non-nil, points at the owning Mem's aggregate occupancy
+	// counter so Mem.Buffered() is O(1) instead of a per-cycle rescan of
+	// every queue. Maintained on every enqueue, dequeue, and reset.
+	occ *int
 }
 
 // NewQueue creates a standalone queue with the given capacity in tokens.
@@ -95,6 +100,9 @@ func (q *Queue) Enq(t Token) bool {
 	q.buf[(q.head+q.size)%len(q.buf)] = t
 	q.size++
 	q.Enqueued++
+	if q.occ != nil {
+		*q.occ++
+	}
 	if q.edge != nil && q.size == len(q.buf) {
 		q.edge(true)
 	}
@@ -112,6 +120,9 @@ func (q *Queue) Deq() (t Token, ok bool) {
 	q.head = (q.head + 1) % len(q.buf)
 	q.size--
 	q.Dequeued++
+	if q.occ != nil {
+		*q.occ--
+	}
 	if wasFull && q.edge != nil {
 		q.edge(false)
 	}
@@ -140,6 +151,15 @@ func (q *Queue) Sample() {
 	q.occupN++
 }
 
+// SampleN records the current occupancy k times in one step — exactly
+// equivalent to calling Sample k times while the queue is untouched. The
+// fast-forward kernel uses it to batch the 64-cycle sampling rhythm over a
+// window in which every queue's occupancy is provably frozen.
+func (q *Queue) SampleN(k uint64) {
+	q.occupSum += uint64(q.size) * k
+	q.occupN += k
+}
+
 // MeanOccupancy returns the average sampled occupancy in tokens.
 func (q *Queue) MeanOccupancy() float64 {
 	if q.occupN == 0 {
@@ -153,6 +173,9 @@ func (q *Queue) MeanOccupancy() float64 {
 // survives a reset.
 func (q *Queue) Reset() {
 	wasFull := q.size == len(q.buf)
+	if q.occ != nil {
+		*q.occ -= q.size
+	}
 	q.head, q.size = 0, 0
 	if wasFull && q.edge != nil {
 		q.edge(false)
