@@ -1,0 +1,50 @@
+package main
+
+import (
+	"errors"
+	"testing"
+
+	"fifer/internal/apps"
+	"fifer/internal/bench"
+	"fifer/internal/core"
+)
+
+// TestValidateShards pins the -shards front gate: values below 1 are
+// rejected with the named core sentinel (so callers and scripts can match
+// on it) and never reach a simulation, while every count >= 1 passes — the
+// per-experiment "shards exceed PEs" case is core's to report.
+func TestValidateShards(t *testing.T) {
+	for _, n := range []int{-3, -1, 0} {
+		err := validateShards(n)
+		if err == nil {
+			t.Errorf("validateShards(%d) = nil, want error", n)
+			continue
+		}
+		if !errors.Is(err, core.ErrBadShards) {
+			t.Errorf("validateShards(%d) = %v, want ErrBadShards", n, err)
+		}
+	}
+	for _, n := range []int{1, 2, 4, 64} {
+		if err := validateShards(n); err != nil {
+			t.Errorf("validateShards(%d) = %v, want nil", n, err)
+		}
+	}
+}
+
+// TestShardsOverPEsSurfacesBadShards checks the second half of the gate: a
+// count that clears the flag check but exceeds a simulation's PE count comes
+// back from the run as the same named error — a structured failure, not a
+// panic.
+func TestShardsOverPEsSurfacesBadShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation setup")
+	}
+	opt := bench.Options{Scale: 0, Seed: 1, Jobs: 1, Shards: 1 << 20}
+	if err := validateShards(opt.Shards); err != nil {
+		t.Fatalf("flag gate rejected %d: %v", opt.Shards, err)
+	}
+	_, err := bench.RunOne("BFS", bench.InputsOf("BFS")[0], apps.FiferPipe, false, opt, nil)
+	if !errors.Is(err, core.ErrBadShards) {
+		t.Fatalf("RunOne with Shards=%d returned %v, want ErrBadShards", opt.Shards, err)
+	}
+}

@@ -48,7 +48,10 @@ func RunApp(kind apps.SystemKind, mode Mode, g *graph.Graph, sources []int, scal
 		if override != nil {
 			override(&cfg)
 		}
-		sys := core.NewSystem(cfg)
+		sys, err := core.NewSystemChecked(cfg)
+		if err != nil {
+			return out, fmt.Errorf("%v %v: %w", kind, mode, err)
+		}
 		p := Build(sys, g, Options{Mode: mode, Merged: merged, Sources: sources})
 		res, err := p.Run()
 		if err != nil {

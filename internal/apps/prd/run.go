@@ -39,7 +39,10 @@ func runApp(kind apps.SystemKind, g *graph.Graph, cfg graph.PRDConfig, scale int
 		if override != nil {
 			override(&ccfg)
 		}
-		sys := core.NewSystem(ccfg)
+		sys, err := core.NewSystemChecked(ccfg)
+		if err != nil {
+			return out, fmt.Errorf("%v prd: %w", kind, err)
+		}
 		p := build(sys, g, cfg, merged)
 		res, err := p.run()
 		if err != nil {

@@ -67,7 +67,10 @@ func runApp(kind apps.SystemKind, ds Dataset, scale int, merged bool, override f
 		if override != nil {
 			override(&cfg)
 		}
-		sys := core.NewSystem(cfg)
+		sys, err := core.NewSystemChecked(cfg)
+		if err != nil {
+			return out, fmt.Errorf("%v silo: %w", kind, err)
+		}
 		p := build(sys, ds, merged)
 		p.startScans()
 		res, err := sys.Run(core.ProgramFunc(func(*core.System) bool { return false }))

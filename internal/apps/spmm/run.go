@@ -41,7 +41,10 @@ func runApp(kind apps.SystemKind, a *sparse.CSR, b *sparse.CSC, rows, cols []int
 		if override != nil {
 			override(&cfg)
 		}
-		sys := core.NewSystem(cfg)
+		sys, err := core.NewSystemChecked(cfg)
+		if err != nil {
+			return out, fmt.Errorf("%v spmm: %w", kind, err)
+		}
 		p := build(sys, a, b, rows, cols, merged)
 		res, err := sys.Run(core.ProgramFunc(func(*core.System) bool { return false }))
 		if err != nil {

@@ -52,9 +52,11 @@ func TestRunnerPanicIsolation(t *testing.T) {
 }
 
 // TestRunnerPanicIsolationIntegration drives real simulations: job 1's
-// override corrupts the config so core.NewSystem panics inside RunOne. The
-// batch must complete with that one job failed and the other jobs'
-// outcomes byte-identical to a clean batch.
+// override shrinks the queue SRAM to one token, so program build panics
+// carving the first queue inside RunOne (config *validation* failures are
+// structured errors now, not panics). The batch must complete with that
+// one job failed and the other jobs' outcomes byte-identical to a clean
+// batch.
 func TestRunnerPanicIsolationIntegration(t *testing.T) {
 	mk := func(poison bool) []Job {
 		jobs := []Job{
@@ -63,7 +65,7 @@ func TestRunnerPanicIsolationIntegration(t *testing.T) {
 			{App: "BFS", Input: "Ci", Kind: apps.FiferPipe},
 		}
 		if poison {
-			jobs[1].Override = func(cfg *core.Config) { cfg.QueueMemBytes = -1 }
+			jobs[1].Override = func(cfg *core.Config) { cfg.QueueMemBytes = 8 }
 		}
 		return jobs
 	}
@@ -75,8 +77,8 @@ func TestRunnerPanicIsolationIntegration(t *testing.T) {
 	if !errors.As(faulted[1].Err, &pe) {
 		t.Fatalf("poisoned job: err = %v, want *PanicError", faulted[1].Err)
 	}
-	if !strings.Contains(faulted[1].Err.Error(), "queue memory") {
-		t.Fatalf("PanicError does not carry the config validation failure: %v", faulted[1].Err)
+	if !strings.Contains(faulted[1].Err.Error(), "queue mem") {
+		t.Fatalf("PanicError does not carry the allocation failure: %v", faulted[1].Err)
 	}
 	for _, i := range []int{0, 2} {
 		if clean[i].Err != nil {

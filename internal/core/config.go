@@ -1,12 +1,18 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"fifer/internal/cgra"
 	"fifer/internal/mem"
 	"fifer/internal/trace"
 )
+
+// ErrBadShards reports an unusable Config.Shards value: negative, or more
+// shards than PEs. Validate wraps it so callers (the fiferbench flag layer,
+// tests) can detect the class with errors.Is.
+var ErrBadShards = errors.New("core: invalid shard count")
 
 // Mode selects between the two CGRA-based systems the paper evaluates.
 type Mode int
@@ -65,6 +71,15 @@ type Config struct {
 	SIMDReplication  bool // replicate small datapaths to fill the fabric (Sec. 5.6)
 
 	MaxCycles uint64 // safety limit; Run fails beyond this
+
+	// Shards partitions the PEs into this many contiguous groups, each ticked
+	// by its own goroutine under the deterministic epoch-barrier protocol of
+	// shard.go (DESIGN.md §11). Results are bit-identical to the sequential
+	// kernel for every surface — Result, traces, metrics, goldens, journal
+	// bytes — which the shard-invariance differential suite pins. 0 or 1
+	// selects the sequential kernel (the always-available oracle); values
+	// above PEs are rejected by Validate with ErrBadShards.
+	Shards int
 
 	// NoFastForward disables the event-horizon fast-forward (horizon.go) and
 	// makes Run tick every cycle naively. Fast-forward produces bit-identical
@@ -181,6 +196,11 @@ func (c *Config) Validate() error {
 	case c.Hier.Clients != 0 && c.Hier.Clients != c.PEs:
 		return fmt.Errorf("core: Hier.Clients=%d does not match PEs=%d (leave it 0 to size automatically)",
 			c.Hier.Clients, c.PEs)
+	case c.Shards < 0:
+		return fmt.Errorf("%w: Shards=%d is negative (0 or 1 = sequential kernel)", ErrBadShards, c.Shards)
+	case c.Shards > c.PEs:
+		return fmt.Errorf("%w: Shards=%d exceeds PEs=%d (each shard needs at least one PE)",
+			ErrBadShards, c.Shards, c.PEs)
 	}
 	return nil
 }

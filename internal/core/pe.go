@@ -45,6 +45,21 @@ type PE struct {
 	inertBucket   inertBucket
 	slideCooldown bool
 
+	// Sharded-kernel per-PE parking state (shard.go): caughtUp is the cycle
+	// up to which this PE's deferred inert accounting has been applied;
+	// shDirty marks an external arrival (credited token, credit return,
+	// program injection) that obliges the PE to tick even though its
+	// published wake predates the arrival; poll marks a PE hosting a stage
+	// with an exotic port (stage.Exotic), whose readiness may depend on
+	// program state outside the queue/credit fabric — such a PE cannot be
+	// parked while stages fire anywhere; firedNow records whether this
+	// tick's fabric fired a stage (the only place user code runs). All
+	// unused by the sequential kernel.
+	caughtUp uint64
+	shDirty  bool
+	poll     bool
+	firedNow bool
+
 	// Per-tick stage snapshot (scanStages): InputWork and readiness of every
 	// resident stage, computed once per blocked cycle and shared by pick,
 	// cooldownWake, and accountBlocked instead of each rescanning the queues.
@@ -77,17 +92,17 @@ const (
 // schedCooldown is the exclusion window after a fruitless activation.
 const schedCooldown = 64
 
-func newPE(id int, sys *System) *PE {
+// init populates a zero PE in place; NewSystemChecked lays all PEs out in
+// one contiguous array so the per-cycle sweep walks sequential memory.
+func (pe *PE) init(id int, sys *System) {
 	cfg := &sys.Cfg
-	pe := &PE{
-		ID:      id,
-		sys:     sys,
-		cfg:     cfg,
-		Mem:     sys.Hier.Port(id, sys.Backing),
-		QMem:    queue.NewMem(fmt.Sprintf("pe%d", id), cfg.QueueMemBytes),
-		active:  -1,
-		pending: -1,
-	}
+	pe.ID = id
+	pe.sys = sys
+	pe.cfg = cfg
+	pe.Mem = sys.Hier.Port(id, sys.Backing)
+	pe.QMem = queue.NewMem(fmt.Sprintf("pe%d", id), cfg.QueueMemBytes)
+	pe.active = -1
+	pe.pending = -1
 	for i := 0; i < cfg.DRMsPerPE; i++ {
 		// DRM address queues are small fixed buffers separate from the
 		// 16 KB virtualized queue SRAM (Table 1 lists DRMs separately).
@@ -95,7 +110,6 @@ func newPE(id int, sys *System) *PE {
 		pe.DRMs = append(pe.DRMs, NewDRM(fmt.Sprintf("pe%d.drm%d", id, i), in, pe.Mem, cfg.DRMOutstanding, cfg.DRMIssueWidth))
 	}
 	pe.wireTrace()
-	return pe
 }
 
 // AllocQueue carves a queue out of this PE's queue memory.
@@ -180,6 +194,7 @@ func (p *PE) Busy(now uint64) bool {
 // incremented per call. It also publishes the PE's wake cycle — the minimum
 // over the fabric's and every DRM's — for the event-horizon kernel.
 func (p *PE) Tick(now uint64) {
+	p.firedNow = false
 	wake := horizonNever
 	for _, d := range p.DRMs {
 		d.Tick(now)
@@ -250,6 +265,7 @@ func (p *PE) tickFabric(now uint64) (uint64, inertBucket, bool) {
 	}
 	if fired > 0 {
 		p.firedSinceAct = true
+		p.firedNow = true
 		p.Stack.Issued++
 		if p.ctx.ExtraStall > 0 {
 			p.stallUntil = now + 1 + p.ctx.ExtraStall

@@ -1,0 +1,730 @@
+package core
+
+import (
+	"fmt"
+
+	"fifer/internal/trace"
+)
+
+// Sharded simulation kernel (DESIGN.md §11).
+//
+// Config.Shards > 1 partitions the PEs into contiguous shards, each owned by
+// a worker goroutine, and replaces the sequential per-cycle sweep with a
+// coordinator-driven one: at every cycle the coordinator visits the shards
+// in ascending order and *engages* (hands the cycle to) only the shards that
+// can act, parking the rest in O(1). The protocol is exact, not approximate
+// — every surface of a run (Result, trace events, metrics rows, golden
+// tables, journal bytes) is bit-identical to the sequential kernel, which
+// the shard-invariance differential suite in internal/bench pins.
+//
+// Why ordered engagement, not free-running shards: all of the machine's
+// intra-cycle coupling is order-sensitive. The shared cache hierarchy
+// mutates LRU and timing state on every access; a credited send from PE j
+// is visible to a consumer PE i in the same cycle iff j ticks before i; a
+// credit return from consumer i reaches producer j's same-cycle tick iff
+// i ticks before j; and the functional backing store serializes same-cycle
+// stores and loads. The sequential kernel resolves all of these with one
+// rule — PEs tick in ascending id per cycle — so the sharded kernel keeps
+// exactly that rule: engaged shards run one at a time, in ascending shard
+// (hence PE) order, with the engagement hand-off acting as the epoch
+// barrier. The canonical exchange order is therefore *inherited*, not
+// re-derived: arbiter grants, credit returns, and DRM responses apply in
+// ascending PE id within the cycle, identical to the sequential kernel.
+//
+// Where the speedup comes from: parking, at two granularities. The
+// sequential kernel must tick every PE on every cycle in which *any* PE can
+// act — its event-horizon fast-forward only jumps when the whole machine is
+// inert. The sharded kernel skips a whole shard cycle-by-cycle whenever that
+// shard alone is inert (wake in the future, no incoming traffic), and inside
+// an engaged shard it skips the individual PEs that are provably inert
+// (pe.wake in the future and no external arrival since their last tick), so
+// per-cycle work is proportional to the *active* PEs, not the machine size —
+// the regime the ROADMAP's 64–256-PE studies target. Per-PE parking trusts
+// exactly the invariant event-horizon fast-forward already trusts ("a PE
+// whose wake is in the future is bit-exactly inert unless something arrives
+// from outside"), with the exchange hooks supplying the arrival edge; the
+// shards-equal-PEs points of the differential matrix pin the per-PE case
+// directly.
+//
+// A parked PE's deferred per-cycle accounting (CPI-bucket charges, the
+// 64-cycle queue-occupancy sampling rhythm, blocked-DRM OutFull counts, the
+// sliding scheduler cooldown) is settled lazily by peCatchUp, which replays
+// the same fixed charges pe.advanceInert already batch-replays for
+// fast-forward windows; the two mechanisms share one invariant and one
+// replay path. The exchange points re-engage parked shards and parked PEs:
+//
+//   - a credited send settles the consumer PE's accounting up to (but not
+//     including) the current cycle while the destination queue still holds
+//     its pre-send occupancy, then marks the consumer PE shDirty so it ticks
+//     this cycle if the ascending sweep has not passed it yet (reproducing
+//     the sequential same-cycle visibility rule) and next cycle otherwise;
+//     a cross-shard send additionally marks the consumer shard dirtyData;
+//   - a credit return marks the producing port's PE shDirty and its shard
+//     dirtyCredit (the port→PE and port→shard bindings are learned at the
+//     port's first send; a return always follows a send, so they exist);
+//   - program work injection at quiescence bypasses the queue hooks, so a
+//     round that injects marks every shard and every PE dirty.
+//
+// Observation boundaries (metrics samples, live audits, deadlock and
+// cancellation and MaxCycles error construction, quiescence calls, run
+// completion) settle every shard first, exactly as fast-forward lands the
+// clock on each boundary before its checks run; the watchdog's progress
+// signature needs no settling because it reads only monotonic counters,
+// which are frozen for inert PEs under both kernels. Fast-forward itself
+// degenerates to a pure clock jump here — with every shard parked past the
+// jump target, all accounting is already deferred, so the jump moves
+// s.Cycle and nothing else.
+//
+// Concurrency and memory ordering: engaged shards run strictly one at a
+// time, with every hand-off (coordinator→worker command, worker→coordinator
+// completion) a channel operation, so all simulation state — including the
+// shared hierarchy, another shard's queues touched by a send hook, and the
+// single tracer — is accessed under a total happens-before order and the
+// kernel is clean under the race detector. The only concurrent phase is the
+// 64-cycle queue-memory sampling broadcast, which touches strictly
+// shard-private state. OnCycle hooks (fault injectors) force every shard to
+// engage on every cycle, mirroring the sequential kernel's rule that hooks
+// disable fast-forward.
+
+// shard is one contiguous group of PEs plus its worker-protocol state. All
+// fields are owned by the coordinator between engagements and by the
+// shard's worker during one; the cmd/done channel hand-offs order every
+// access.
+type shard struct {
+	id  int
+	pes []*PE // s.PEs[lo:hi]
+
+	wake    uint64 // min effective PE wake published by the last tick; 0 before cycle 0
+	busy    bool   // any PE busy at the last ticked cycle
+	ticked  bool   // ticked at the current sweep cycle (for the %64 sample broadcast)
+	hasPoll bool   // any PE in this shard polls (exotic ports)
+
+	// dirtyData: a token landed in one of this shard's queues since its last
+	// tick (credited send, or program injection). Implies the sequential
+	// kernel would see the shard busy, so the quiet scan counts it.
+	// dirtyCredit: a credit returned to one of this shard's producer ports;
+	// it can newly unblock a stage, so the shard must tick, but it cannot
+	// make an idle shard busy.
+	dirtyData   bool
+	dirtyCredit bool
+
+	cmd      chan shardCmd
+	done     chan struct{}
+	panicked any
+}
+
+type shardOp uint8
+
+const (
+	opBatch shardOp = iota
+	opSample
+)
+
+type shardCmd struct {
+	op    shardOp
+	cycle uint64
+	limit uint64 // opBatch: first cycle the worker must NOT tick
+	idle  bool   // opBatch: every other shard is idle (quiescence is possible)
+}
+
+// buildShards partitions the PEs into Cfg.Shards contiguous shards (sizes
+// differing by at most one, larger shards first), starts one worker per
+// shard, and installs the exchange hooks on every inter-PE arbiter.
+func (s *System) buildShards() {
+	n := s.Cfg.Shards
+	s.shards = make([]*shard, 0, n)
+	s.peShard = make([]int, len(s.PEs))
+	// A stage with an exotic port (stage.Exotic) may read program state the
+	// queue/credit hooks cannot see — e.g. an in-flight throttle decremented
+	// by a stage on another PE — so its PE can never be parked while user
+	// code runs anywhere: it polls on every cycle that follows a firing.
+	s.hasPoll = false
+	for _, pe := range s.PEs {
+		pe.poll = false
+		for _, st := range pe.stages {
+			if st.Exotic() {
+				pe.poll = true
+				s.hasPoll = true
+				break
+			}
+		}
+	}
+	base, extra := len(s.PEs)/n, len(s.PEs)%n
+	lo := 0
+	for k := 0; k < n; k++ {
+		sz := base
+		if k < extra {
+			sz++
+		}
+		sh := &shard{
+			id:   k,
+			pes:  s.PEs[lo : lo+sz],
+			cmd:  make(chan shardCmd, 1),
+			done: make(chan struct{}, 1),
+		}
+		for i := lo; i < lo+sz; i++ {
+			s.peShard[i] = k
+			if s.PEs[i].poll {
+				sh.hasPoll = true
+			}
+		}
+		s.shards = append(s.shards, sh)
+		lo += sz
+		go s.shardWorker(sh)
+	}
+	s.curShard, s.curPE = -1, -1
+	s.installShardHooks()
+}
+
+// stopShards shuts the workers down; the coordinator has matched every
+// command with a completion, so the channels are quiescent.
+func (s *System) stopShards() {
+	for _, sh := range s.shards {
+		close(sh.cmd)
+	}
+}
+
+// installShardHooks wires each inter-PE arbiter into the exchange protocol:
+// the pre-send hook settles the consumer shard's deferred accounting against
+// the pre-send queue occupancy and marks it dirtyData; the credit hook marks
+// the producing port's shard dirtyCredit on returns (chaining the tracing
+// hook the sequential kernel would have used, so event streams match).
+func (s *System) installShardHooks() {
+	for ai, a := range s.arbiters {
+		a := a
+		consumerPE := s.arbConsumers[ai]
+		cpe := s.PEs[consumerPE]
+		consumer := s.shards[s.peShard[consumerPE]]
+		// portShard/portPE are the lazily learned port→shard and port→PE
+		// bindings: port p belongs to the shard/PE that was ticking when p
+		// first sent. A port has exactly one producer PE, so the bindings are
+		// stable; -1 means never sent.
+		portShard := make([]int, a.Ports())
+		portPE := make([]int, a.Ports())
+		for i := range portShard {
+			portShard[i] = -1
+			portPE[i] = -1
+		}
+		a.SetSendHook(func(port int) {
+			if portShard[port] < 0 && s.curShard >= 0 {
+				portShard[port] = s.curShard
+				portPE[port] = s.curPE
+			}
+			// Settle the consumer PE against the pre-send occupancy, then mark
+			// it: if the ascending sweep has not reached it yet it ticks this
+			// cycle (sequential same-cycle visibility); if it has, shDirty
+			// holds it awake for the next cycle.
+			s.peCatchUp(cpe, s.Cycle)
+			cpe.shDirty = true
+			if consumer.id == s.curShard {
+				// Intra-shard send: the shard's own ascending-PE tick already
+				// gives the sequential same-cycle visibility, and its
+				// end-of-tick busy scan sees any leftover token, so marking
+				// dirtyData here would only make the quiet scan stricter than
+				// the sequential kernel's (a same-cycle-consumed token would
+				// block quiescence for one extra cycle). A send to an
+				// already-ticked PE still needs the shard re-engaged next
+				// cycle — its published wake predates the token — which
+				// dirtyCredit provides without touching the quiet scan: the
+				// token is necessarily still buffered at the busy scan, so
+				// busy carries the quiet answer exactly.
+				if consumerPE < s.curPE {
+					consumer.dirtyCredit = true
+				}
+				return
+			}
+			consumer.dirtyData = true
+			s.crossTouch = true
+		})
+		traceHook := s.creditTracer(s.arbConsumers[ai], a.Queue())
+		a.SetCreditHook(func(port int, granted bool) {
+			if !granted {
+				if b := portShard[port]; b >= 0 {
+					// A return mutates only the producer port's credit counter
+					// — nothing peCatchUp accounts — so no settling is needed;
+					// the producer PE just has to tick to observe it.
+					s.PEs[portPE[port]].shDirty = true
+					s.shards[b].dirtyCredit = true
+					if b != s.curShard {
+						s.crossTouch = true
+					}
+				} else {
+					// A return without a recorded send (possible only for
+					// exotic seeding paths): wake everyone, conservatively.
+					for _, sh := range s.shards {
+						sh.dirtyCredit = true
+						for _, pe := range sh.pes {
+							pe.shDirty = true
+						}
+					}
+					s.crossTouch = true
+				}
+			}
+			if traceHook != nil {
+				traceHook(port, granted)
+			}
+		})
+	}
+}
+
+// shardWorker is the goroutine owning one shard. Panics from the simulation
+// (e.g. a queue-layer corruption raised inside a kernel firing) are parked
+// in sh.panicked and re-raised on the coordinator, so Run's recover turns
+// them into the same ErrInvariant the sequential kernel reports.
+func (s *System) shardWorker(sh *shard) {
+	for c := range sh.cmd {
+		func() {
+			defer func() { sh.panicked = recover() }()
+			switch c.op {
+			case opBatch:
+				s.shardBatch(sh, c.cycle, c.limit, c.idle)
+			case opSample:
+				// Sample only the PEs that actually ticked this cycle
+				// (caughtUp == cycle+1); a parked PE's sample for this cycle
+				// rides its deferred catch-up against the frozen occupancy.
+				for _, pe := range sh.pes {
+					if pe.caughtUp == c.cycle+1 {
+						pe.QMem.Sample()
+					}
+				}
+			}
+		}()
+		sh.done <- struct{}{}
+	}
+}
+
+// shardTick runs one engaged cycle: in ascending id order, settle and tick
+// the PEs that can act (woken, externally marked, or force — OnCycle hooks
+// may have mutated anything), leaving provably inert PEs parked with their
+// accounting deferred; then publish the shard's fresh wake and busy state.
+// The busy scan is live over every PE — a parked PE's frozen state answers
+// Busy(now) exactly as the sequential kernel's scan would.
+func (s *System) shardTick(sh *shard, now uint64, force bool) {
+	for _, pe := range sh.pes {
+		if force || pe.shDirty || pe.wake <= now || (pe.poll && s.sweepFired) {
+			s.peCatchUp(pe, now)
+			pe.shDirty = false
+			s.curPE = pe.ID
+			pe.Tick(now)
+			pe.caughtUp = now + 1
+			if pe.firedNow {
+				s.sweepFired = true
+			}
+		}
+	}
+	s.curPE = -1
+	wake := horizonNever
+	busy := false
+	for _, pe := range sh.pes {
+		// shDirty here means a backward intra-shard send or a credit return
+		// reached a PE the sweep had already passed: it must tick next cycle.
+		w := pe.wake
+		if pe.shDirty {
+			w = now + 1
+		}
+		if w < wake {
+			wake = w
+		}
+		if !busy && pe.Busy(now) {
+			busy = true
+		}
+	}
+	sh.wake, sh.busy = wake, busy
+	sh.ticked = true
+}
+
+// shardBatch runs an autonomous multi-cycle engagement: when the coordinator
+// finds exactly one shard active, that shard can tick cycle after cycle on
+// its own goroutine — no per-cycle hand-off — because no other shard can act
+// before the batch limit (the earliest parked wake or observation boundary,
+// both strictly above every cycle the batch ticks) and every event that
+// could change that (a cross-shard send or credit return, discovered only
+// mid-tick) raises crossTouch and ends the batch at exactly the cycle the
+// coordinator's sweep must resume. The worker advances s.Cycle itself so the
+// exchange hooks and trace events see the true cycle; the coordinator is
+// blocked on the epoch barrier meanwhile, so the mutation is ordered. It
+// leaves s.Cycle at the last cycle ticked.
+//
+// Stop conditions, in order, after ticking cycle c:
+//   - crossTouch: another shard was marked this cycle — if it is a later
+//     shard it must still tick at c (sequential same-cycle visibility), so
+//     the coordinator resumes its sweep at c;
+//   - quiescence risk: this shard went idle while every other shard was
+//     idle, so the coordinator must run the quiet protocol at c;
+//   - c+1 reaching the limit (parked wake or observation boundary);
+//   - self-parking: the shard's own wake moved past c+1 and nothing marked
+//     it dirty, so the coordinator's fast-forward takes over.
+func (s *System) shardBatch(sh *shard, now, limit uint64, othersIdle bool) {
+	c := now
+	for {
+		s.Cycle = c
+		for _, pe := range sh.pes {
+			if pe.shDirty || pe.wake <= c {
+				s.peCatchUp(pe, c)
+				pe.shDirty = false
+				s.curPE = pe.ID
+				pe.Tick(c)
+				pe.caughtUp = c + 1
+			}
+		}
+		s.curPE = -1
+		wake := horizonNever
+		busy := false
+		for _, pe := range sh.pes {
+			w := pe.wake
+			if pe.shDirty {
+				w = c + 1
+			}
+			if w < wake {
+				wake = w
+			}
+			if !busy && pe.Busy(c) {
+				busy = true
+			}
+		}
+		sh.wake, sh.busy = wake, busy
+		if c%64 == 0 {
+			for _, pe := range sh.pes {
+				if pe.caughtUp == c+1 {
+					pe.QMem.Sample()
+				}
+			}
+		}
+		if s.crossTouch {
+			break
+		}
+		if !busy && othersIdle {
+			break
+		}
+		next := c + 1
+		if next >= limit {
+			break
+		}
+		if !(sh.dirtyData || sh.dirtyCredit || wake <= next) {
+			break
+		}
+		sh.dirtyData, sh.dirtyCredit = false, false
+		c = next
+	}
+	s.Cycle = c
+}
+
+// peCatchUp replays one parked PE's deferred per-cycle accounting for cycles
+// [caughtUp, to): the same fixed charges and 64-cycle sampling rhythm
+// advanceInert batch-replays for fast-forward windows. Every PE ticks at
+// cycle 0 (wake starts at 0), so caughtUp ≥ 1 whenever to > 0 and the
+// (from-1)/64 term cannot underflow.
+func (s *System) peCatchUp(pe *PE, to uint64) {
+	from := pe.caughtUp
+	if to <= from {
+		return
+	}
+	pe.advanceInert(to, to-from)
+	if n64 := (to-1)/64 - (from-1)/64; n64 > 0 {
+		pe.QMem.SampleN(n64)
+	}
+	pe.caughtUp = to
+}
+
+// shardCatchUp settles every PE of one shard up to cycle `to`.
+func (s *System) shardCatchUp(sh *shard, to uint64) {
+	for _, pe := range sh.pes {
+		s.peCatchUp(pe, to)
+	}
+}
+
+// settleShards brings every shard's deferred accounting up to the current
+// cycle. Observation boundaries call it so metrics, audits, quiescence
+// calls, and error dumps see exactly the state the sequential kernel would
+// have at this cycle.
+func (s *System) settleShards() {
+	for _, sh := range s.shards {
+		s.shardCatchUp(sh, s.Cycle)
+	}
+}
+
+// engage runs cycle now for sh. The dirty flags are consumed here — cleared
+// before the tick so traffic arriving later in this sweep re-marks the shard
+// for the next cycle. Because engagements are serialized by construction, a
+// single-cycle engagement's epoch barrier degenerates to a function call on
+// the coordinator — a worker hand-off would only add two scheduler round
+// trips per shard per cycle; the shard's own goroutine carries the
+// multi-cycle batches (shardBatch) and the concurrent sampling broadcasts,
+// which is where goroutine ownership actually buys wall time.
+func (s *System) engage(sh *shard, now uint64, force bool) {
+	sh.dirtyData, sh.dirtyCredit = false, false
+	s.curShard = sh.id
+	s.shardTick(sh, now, force)
+	s.curShard = -1
+}
+
+// runSharded is the sharded kernel's drive loop. It mirrors runSeq exactly
+// — same checks at the same cycles, same quiet/quiescence protocol, same
+// fast-forward clamping — with per-PE ticking replaced by the ordered
+// engagement sweep and all inert accounting deferred to shardCatchUp.
+func (s *System) runSharded(prog Program) (res Result, err error) {
+	s.buildShards()
+	defer s.stopShards()
+	var wdInterval uint64
+	if s.Cfg.WatchdogCycles > 0 {
+		if wdInterval = s.Cfg.WatchdogCycles / 2; wdInterval == 0 {
+			wdInterval = 1
+		}
+	}
+	var cancelEvery uint64
+	if s.Cfg.Done != nil {
+		if cancelEvery = wdInterval; cancelEvery == 0 {
+			cancelEvery = cancelInterval
+		}
+		select {
+		case <-s.Cfg.Done:
+			return res, s.canceledError()
+		default:
+		}
+	}
+	var sampleEvery uint64
+	if s.Cfg.Metrics != nil {
+		if sampleEvery = s.Cfg.MetricsCycles; sampleEvery == 0 {
+			sampleEvery = DefaultMetricsCycles
+		}
+		if s.lastStacks == nil {
+			s.lastStacks = make([]CPIStack, len(s.PEs))
+		}
+	}
+	lastSig := s.progressSig()
+	lastProgress := s.Cycle
+	// checks is runSeq's observation ladder with one addition: every
+	// boundary that reads non-monotonic state (CPI stacks, occupancy
+	// samples, state dumps) settles the shards first. The watchdog's
+	// signature comparison reads only monotonic counters and runs unsettled,
+	// like the sequential kernel reads them mid-window.
+	checks := func() (stop bool, err error) {
+		if cancelEvery > 0 && s.Cycle%cancelEvery == 0 {
+			select {
+			case <-s.Cfg.Done:
+				s.settleShards()
+				return true, s.canceledError()
+			default:
+			}
+		}
+		if sampleEvery > 0 && s.Cycle%sampleEvery == 0 {
+			s.settleShards()
+			s.sampleMetrics()
+		}
+		if wdInterval > 0 && s.Cycle%wdInterval == 0 {
+			sig := s.progressSig()
+			if s.tracer != nil {
+				s.tracer.Emit(trace.Event{Cycle: s.Cycle, PE: -1,
+					Kind: trace.KindCheckpoint, Name: "watchdog", Arg: sig.firings})
+			}
+			if sig == lastSig {
+				s.settleShards()
+				return true, s.deadlockError(lastProgress)
+			}
+			lastSig, lastProgress = sig, s.Cycle
+		}
+		if s.Cfg.AuditCycles > 0 && s.Cycle%s.Cfg.AuditCycles == 0 {
+			s.settleShards()
+			if aerr := s.AuditLive(); aerr != nil {
+				return true, aerr
+			}
+		}
+		if s.Cycle >= s.Cfg.MaxCycles {
+			s.settleShards()
+			return true, fmt.Errorf("%w: MaxCycles=%d (deadlock or runaway program)\n%s",
+				ErrMaxCycles, s.Cfg.MaxCycles, s.BlockedSummary(dumpExcerptLines))
+		}
+		return false, nil
+	}
+	for {
+		now := s.Cycle
+		engageAll := len(s.hooks) > 0
+		if engageAll {
+			for _, f := range s.hooks {
+				f(s, now)
+			}
+		}
+		for _, sh := range s.shards {
+			sh.ticked = false
+		}
+		s.sweepFired = false
+		// Single-active-shard batching: when the pre-scan finds exactly one
+		// shard able to act, hand it a multi-cycle batch bounded by the
+		// earliest parked wake and the next observation boundary (the same
+		// clamps fast-forward uses, so no check point is skipped). The batch
+		// eliminates the per-cycle hand-off in the regime parking creates —
+		// activity concentrated in one region of the machine — and ends the
+		// moment anything cross-shard happens, with the sweep resuming at the
+		// batch's final cycle for later shards (same-cycle visibility).
+		batched := false
+		if !engageAll && !s.hasPoll {
+			active, othersIdle := -1, true
+			for i, sh := range s.shards {
+				if sh.dirtyData || sh.dirtyCredit || sh.wake <= now {
+					if active >= 0 {
+						active = -2
+						break
+					}
+					active = i
+				} else if sh.busy {
+					othersIdle = false
+				}
+			}
+			if active >= 0 {
+				sh := s.shards[active]
+				limit := s.Cfg.MaxCycles
+				for i, other := range s.shards {
+					if i != active && other.wake < limit {
+						limit = other.wake
+					}
+				}
+				clampLimit := func(period uint64) {
+					if period > 0 {
+						if next := (now/period + 1) * period; next < limit {
+							limit = next
+						}
+					}
+				}
+				clampLimit(cancelEvery)
+				clampLimit(sampleEvery)
+				clampLimit(wdInterval)
+				clampLimit(s.Cfg.AuditCycles)
+				if limit > now+1 {
+					batched = true
+					s.crossTouch = false
+					sh.dirtyData, sh.dirtyCredit = false, false
+					s.curShard = sh.id
+					sh.cmd <- shardCmd{op: opBatch, cycle: now, limit: limit, idle: othersIdle}
+					<-sh.done
+					s.curShard = -1
+					if p := sh.panicked; p != nil {
+						sh.panicked = nil
+						panic(p)
+					}
+					// The worker left s.Cycle at the last cycle it ticked;
+					// resume the sweep there for the shards after it, which a
+					// final-cycle cross-shard send may have marked.
+					now = s.Cycle
+					for _, sh2 := range s.shards[active+1:] {
+						if sh2.dirtyData || sh2.dirtyCredit || sh2.wake <= now {
+							s.engage(sh2, now, false)
+						}
+					}
+				}
+			}
+		}
+		if !batched {
+			for _, sh := range s.shards {
+				if engageAll || sh.dirtyData || sh.dirtyCredit || sh.wake <= now ||
+					(s.sweepFired && sh.hasPoll) {
+					s.engage(sh, now, engageAll)
+				}
+			}
+		}
+		if s.sweepFired && s.hasPoll && !engageAll {
+			// A firing this cycle may have changed what a poll PE's exotic
+			// ports report; every poll PE the sweep has already passed (or
+			// parked) must observe the post-firing state next cycle, exactly
+			// when the sequential kernel's ascending order would let it.
+			// dirtyCredit re-engages the shard without affecting the quiet
+			// scan; ticking an actually-inert PE is bit-identical to parking
+			// it, so over-marking is safe.
+			for _, sh := range s.shards {
+				if sh.hasPoll {
+					sh.dirtyCredit = true
+					for _, pe := range sh.pes {
+						if pe.poll {
+							pe.shDirty = true
+						}
+					}
+				}
+			}
+		}
+		if now%64 == 0 {
+			// The cycle's queue-occupancy samples, after the whole sweep so
+			// every same-cycle send has landed. Shards that ticked sample now,
+			// concurrently (strictly shard-private state); parked shards'
+			// samples ride their deferred catch-up against frozen occupancies.
+			for _, sh := range s.shards {
+				if sh.ticked {
+					sh.cmd <- shardCmd{op: opSample, cycle: now}
+				}
+			}
+			for _, sh := range s.shards {
+				if sh.ticked {
+					<-sh.done
+					if p := sh.panicked; p != nil {
+						sh.panicked = nil
+						panic(p)
+					}
+				}
+			}
+		}
+		quiet := true
+		sysWake := horizonNever
+		for _, sh := range s.shards {
+			// A parked shard's stale busy flag is exact: its state is frozen,
+			// and anything that could newly occupy it sets dirtyData. Credit
+			// returns never make a shard busy, so dirtyCredit is excluded —
+			// matching the sequential kernel's Busy scan.
+			if sh.busy || sh.dirtyData {
+				quiet = false
+			}
+			w := sh.wake
+			if sh.dirtyData || sh.dirtyCredit {
+				w = now + 1
+			}
+			if w < sysWake {
+				sysWake = w
+			}
+		}
+		s.Cycle++
+		if quiet {
+			s.settleShards()
+			if !prog.Quiesced(s) {
+				break
+			}
+			res.Rounds++
+			// Injection bypasses the queue hooks (programs seed local queues
+			// directly), so wake everything; the next sweep re-ticks every
+			// shard and every PE exactly as the sequential kernel would.
+			for _, sh := range s.shards {
+				sh.dirtyData = true
+				for _, pe := range sh.pes {
+					pe.shDirty = true
+				}
+			}
+		}
+		if stop, cerr := checks(); stop {
+			return res, cerr
+		}
+		// Event-horizon fast-forward, degenerated to a pure clock jump: with
+		// every shard parked past the target, all per-cycle accounting is
+		// already deferred, so landing the clock on the next boundary is the
+		// whole job. Same guard and clamps as runSeq.
+		if !quiet && sysWake > s.Cycle && !s.Cfg.NoFastForward && !engageAll {
+			w := sysWake
+			clampMult := func(period uint64) {
+				if period > 0 {
+					if next := (s.Cycle/period + 1) * period; next < w {
+						w = next
+					}
+				}
+			}
+			clampMult(cancelEvery)
+			clampMult(sampleEvery)
+			clampMult(wdInterval)
+			clampMult(s.Cfg.AuditCycles)
+			if s.Cfg.MaxCycles < w {
+				w = s.Cfg.MaxCycles
+			}
+			s.Cycle = w
+			if stop, cerr := checks(); stop {
+				return res, cerr
+			}
+		}
+	}
+	s.settleShards()
+	s.finishRun(&res)
+	return res, nil
+}

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fifer/internal/mem"
+	"fifer/internal/queue"
+	"fifer/internal/stage"
+	"fifer/internal/trace"
+)
+
+// The core half of the shard-invariance contract (DESIGN.md §11): seeded
+// random synthetic pipelines whose credited queues deliberately cross shard
+// boundaries in both directions — forward sends (consumer ticks later the
+// same cycle), backward sends (consumer already ticked), backward credit
+// returns, DRM-latency windows, coupled-load stalls — run at every shard
+// count and must agree with the sequential kernel on every surface. Holding
+// the equality with fast-forward enabled is also the property that per-shard
+// wakes never let a jump skip past a cross-shard exchange: any exchange
+// inside a jump window would tick the two kernels apart and fail DeepEqual.
+
+// shardPipeline is one random synthetic machine: a credited forwarding chain
+// across all PEs with a reflection edge sending a fraction of the traffic
+// backward, so tokens repeatedly cross every shard boundary at every shard
+// count that divides the chain.
+type shardPipeline struct {
+	inbox0   *queue.Queue
+	sunk     int
+	rounds   int
+	maxRound int
+	batch    int
+	refl     []int // reflections per injected token, fixed by the seed
+}
+
+// tokenOf packs (id, reflectionsLeft); values stay below the identity
+// array's extent so DRM hops preserve them exactly.
+func tokenOf(id, refl int) uint64 { return uint64(id*16 + refl) }
+
+// buildShardPipeline wires the random chain onto sys. The seed fixes the PE
+// order, the hop behaviors (plain forward, coupled load, DRM dereference),
+// queue capacities, and the reflection schedule.
+func buildShardPipeline(t *testing.T, sys *System, seed int64) *shardPipeline {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := len(sys.PEs)
+	chain := rng.Perm(n)
+
+	// Identity array: arr[i] = i, so a DRM dereference of arr+(v%ext)*8
+	// returns v for every token value this pipeline produces.
+	const ext = 4096
+	arr := sys.Backing.AllocWords(ext)
+	for i := 0; i < ext; i++ {
+		sys.Backing.Store(arr+mem.Addr(i*8), uint64(i))
+	}
+
+	p := &shardPipeline{
+		maxRound: 3 + rng.Intn(3),
+		batch:    8 + rng.Intn(17),
+	}
+	for i := 0; i < p.batch*(p.maxRound+1); i++ {
+		p.refl = append(p.refl, rng.Intn(4))
+	}
+
+	// inbox[k] feeds the stage on chain[k]: a local queue for the head (the
+	// program seeds it directly), a credited inter-PE queue for every later
+	// hop (producer chain[k-1], consumer chain[k]).
+	inPort := make([]stage.InPort, n)
+	outPort := make([]stage.OutPort, n) // producer-side port into inbox[k]
+	p.inbox0 = sys.PE(chain[0]).AllocQueue("in", 64)
+	inPort[0] = stage.LocalPort{Q: p.inbox0}
+	for k := 1; k < n; k++ {
+		a := sys.InterPEQueue(chain[k], fmt.Sprintf("hop%d", k), 4+rng.Intn(9), 1)
+		inPort[k] = stage.ArbiterPort{A: a}
+		outPort[k] = stage.CreditOut{P: a.Port(0)}
+	}
+	// The reflection edge: the tail sends tokens with reflections left back
+	// to a mid-chain PE, which merges them into the forward flow.
+	backIdx := 1 + rng.Intn(n/2)
+	backArb := sys.InterPEQueue(chain[backIdx], "back", 4+rng.Intn(5), 1)
+
+	for k := 0; k < n-1; k++ {
+		k := k
+		pe := sys.PE(chain[k])
+		ins := []stage.InPort{inPort[k]}
+		if k == backIdx {
+			ins = append(ins, stage.ArbiterPort{A: backArb})
+		}
+		fwd := func(c *stage.Ctx, v uint64) bool { return c.Out[0].Push(queue.Data(v)) }
+		switch rng.Intn(3) {
+		case 0: // plain forward
+		case 1: // coupled load (fabric stall on miss)
+			inner := fwd
+			fwd = func(c *stage.Ctx, v uint64) bool {
+				if !inner(c, v) {
+					return false
+				}
+				c.Load(arr + mem.Addr((v%ext)*8))
+				return true
+			}
+		case 2: // DRM dereference hop: address in, identical value out
+			d := pe.DRM(0)
+			d.Configure(DRMDereference, outPort[k+1])
+			fwd = func(c *stage.Ctx, v uint64) bool {
+				return c.Out[0].Push(queue.Data(uint64(arr) + (v%ext)*8))
+			}
+			outPort[k+1] = stage.LocalPort{Q: d.In()}
+		}
+		pe.AddStage(&stage.Stage{
+			Kernel: stage.KernelFunc{KernelName: fmt.Sprintf("hop%d", k), Fn: func(c *stage.Ctx) stage.Status {
+				for i := len(c.In) - 1; i >= 0; i-- {
+					t, ok := c.In[i].Peek()
+					if !ok {
+						continue
+					}
+					if c.Out[0].Space() < 1 {
+						return stage.NoOutput
+					}
+					if !fwd(c, t.Value) {
+						return stage.NoOutput
+					}
+					c.In[i].Pop()
+					return stage.Fired
+				}
+				return stage.NoInput
+			}},
+			Mapping: passDFG(fmt.Sprintf("hop%d", k)),
+			In:      ins,
+			Out:     []stage.OutPort{outPort[k+1]},
+		})
+	}
+	// Tail: reflect tokens with reflections left, sink the rest.
+	backOut := stage.CreditOut{P: backArb.Port(0)}
+	sys.PE(chain[n-1]).AddStage(&stage.Stage{
+		Kernel: stage.KernelFunc{KernelName: "tail", Fn: func(c *stage.Ctx) stage.Status {
+			t, ok := c.In[0].Peek()
+			if !ok {
+				return stage.NoInput
+			}
+			if t.Value%16 > 0 {
+				if !backOut.Push(queue.Data(t.Value - 1)) {
+					return stage.NoOutput
+				}
+			} else {
+				p.sunk++
+			}
+			c.In[0].Pop()
+			return stage.Fired
+		}},
+		Mapping: passDFG("tail"),
+		In:      []stage.InPort{inPort[n-1]},
+	})
+	return p
+}
+
+// Quiesced implements Program: inject the next batch, or finish.
+func (p *shardPipeline) Quiesced(*System) bool {
+	if p.rounds > p.maxRound {
+		return false
+	}
+	for j := 0; j < p.batch; j++ {
+		id := p.rounds*p.batch + j
+		p.inbox0.Enq(queue.Data(tokenOf(id, p.refl[id])))
+	}
+	p.rounds++
+	return true
+}
+
+// runShardPipeline builds and runs one seeded pipeline at the given shard
+// count, returning every comparable surface.
+func runShardPipeline(t *testing.T, seed int64, shards int, noFF bool) (Result, error, *System, *trace.Collector, int) {
+	t.Helper()
+	cfg := testConfig(8)
+	col := trace.NewCollector(1 << 16)
+	cfg.Tracer = col
+	cfg.Metrics = col
+	cfg.MetricsCycles = 128
+	cfg.WatchdogCycles = 1 << 16
+	cfg.AuditCycles = 64
+	cfg.Shards = shards
+	cfg.NoFastForward = noFF
+	sys := NewSystem(cfg)
+	p := buildShardPipeline(t, sys, seed)
+	p.inbox0.Enq(queue.Data(tokenOf(0, 0))) // pre-seed so the run starts busy
+	res, err := sys.Run(p)
+	return res, err, sys, col, p.sunk
+}
+
+// TestShardInvarianceRandomPipelines is the core differential pin: for each
+// seed, the sharded kernel at every shard count — fast-forwarding or not —
+// must match the sequential kernel on Result, final cycle, per-PE CPI
+// stacks, trace events, metrics rows, sampled occupancy, and the functional
+// output (tokens sunk).
+func TestShardInvarianceRandomPipelines(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			wantRes, wantErr, wantSys, wantCol, wantSunk := runShardPipeline(t, seed, 1, false)
+			if wantErr != nil {
+				t.Fatalf("sequential kernel failed: %v", wantErr)
+			}
+			if wantSunk == 0 {
+				t.Fatal("pipeline sank no tokens; the topology is degenerate")
+			}
+			for _, shards := range []int{2, 3, 4, 8} {
+				for _, noFF := range []bool{false, true} {
+					name := fmt.Sprintf("shards%d-ff%v", shards, !noFF)
+					res, err, sys, col, sunk := runShardPipeline(t, seed, shards, noFF)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					if sunk != wantSunk {
+						t.Errorf("%s: sank %d tokens, sequential sank %d", name, sunk, wantSunk)
+					}
+					if sys.Cycle != wantSys.Cycle {
+						t.Errorf("%s: final cycle %d, sequential %d", name, sys.Cycle, wantSys.Cycle)
+					}
+					if !reflect.DeepEqual(res, wantRes) {
+						t.Errorf("%s: Result differs\nsharded:    %+v\nsequential: %+v", name, res, wantRes)
+					}
+					for i := range sys.PEs {
+						if sys.PEs[i].Stack != wantSys.PEs[i].Stack {
+							t.Errorf("%s: pe%d CPI stack differs: %+v vs %+v",
+								name, i, sys.PEs[i].Stack, wantSys.PEs[i].Stack)
+						}
+					}
+					if got, want := sys.MeanQueueOccupancy(), wantSys.MeanQueueOccupancy(); got != want {
+						t.Errorf("%s: mean queue occupancy %v, sequential %v", name, got, want)
+					}
+					if !reflect.DeepEqual(col.Events(), wantCol.Events()) {
+						diffEvents(t, col.Events(), wantCol.Events())
+					}
+					if !reflect.DeepEqual(col.Rows(), wantCol.Rows()) {
+						t.Errorf("%s: metrics rows differ", name)
+					}
+					if err := sys.CheckInvariants(); err != nil {
+						t.Errorf("%s: %v", name, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// stuckProgram builds the canonical deadlock shape (a stage that always
+// reports NoOutput over register-held work) on the last PE, so under any
+// shard count the stuck PE sits in the last shard.
+func stuckProgram(sys *System) Program {
+	pe := sys.PE(len(sys.PEs) - 1)
+	q := pe.AllocQueue("q", 4)
+	q.Enq(queue.Data(1))
+	pe.AddStage(&stage.Stage{
+		Kernel: stage.KernelFunc{KernelName: "stuck", Fn: func(*stage.Ctx) stage.Status {
+			return stage.NoOutput
+		}},
+		Mapping:   passDFG("stuck"),
+		In:        []stage.InPort{stage.LocalPort{Q: q}},
+		StateWork: func() int { return 1 },
+	})
+	return ProgramFunc(func(*System) bool { return false })
+}
+
+// TestShardDeadlockParity pins the failure path: a deadlocked machine must
+// trip the watchdog at the same checkpoint cycle with the same structured
+// report and error text under both kernels.
+func TestShardDeadlockParity(t *testing.T) {
+	run := func(shards int) (error, uint64) {
+		cfg := testConfig(4)
+		cfg.WatchdogCycles = 2048
+		cfg.Shards = shards
+		sys := NewSystem(cfg)
+		_, err := sys.Run(stuckProgram(sys))
+		return err, sys.Cycle
+	}
+	seqErr, seqCycle := run(1)
+	shErr, shCycle := run(4)
+	var seqDL, shDL *DeadlockError
+	if !errors.As(seqErr, &seqDL) || !errors.As(shErr, &shDL) {
+		t.Fatalf("expected deadlocks, got sequential=%v sharded=%v", seqErr, shErr)
+	}
+	if !reflect.DeepEqual(seqDL.Report, shDL.Report) {
+		t.Errorf("deadlock reports differ\nsharded:    %+v\nsequential: %+v", shDL.Report, seqDL.Report)
+	}
+	if seqErr.Error() != shErr.Error() {
+		t.Errorf("error text differs\nsharded:    %v\nsequential: %v", shErr, seqErr)
+	}
+	if seqCycle != shCycle {
+		t.Errorf("deadlock detected at cycle %d sharded, %d sequential", shCycle, seqCycle)
+	}
+}
+
+// TestShardMaxCyclesParity pins budget exhaustion, including the
+// BlockedSummary dump embedded in the error string (which requires the
+// sharded kernel to settle deferred accounting before formatting it).
+func TestShardMaxCyclesParity(t *testing.T) {
+	run := func(shards int) (error, uint64) {
+		cfg := testConfig(4)
+		cfg.WatchdogCycles = 0
+		cfg.MaxCycles = 5000
+		cfg.Shards = shards
+		sys := NewSystem(cfg)
+		_, err := sys.Run(stuckProgram(sys))
+		return err, sys.Cycle
+	}
+	seqErr, seqCycle := run(1)
+	shErr, shCycle := run(4)
+	if !errors.Is(seqErr, ErrMaxCycles) || !errors.Is(shErr, ErrMaxCycles) {
+		t.Fatalf("expected ErrMaxCycles, got sequential=%v sharded=%v", seqErr, shErr)
+	}
+	if seqErr.Error() != shErr.Error() {
+		t.Errorf("error text differs\nsharded:    %v\nsequential: %v", shErr, seqErr)
+	}
+	if seqCycle != 5000 || shCycle != 5000 {
+		t.Errorf("budget exhaustion at cycles sharded=%d sequential=%d, want 5000", shCycle, seqCycle)
+	}
+}
+
+// TestShardCorruptionParity pins the typed-corruption path: a queue-layer
+// panic raised inside a shard worker must surface as the same ErrInvariant
+// the sequential kernel reports, not crash the process.
+func TestShardCorruptionParity(t *testing.T) {
+	run := func(shards int) error {
+		cfg := testConfig(4)
+		cfg.Shards = shards
+		sys := NewSystem(cfg)
+		pe := sys.PE(len(sys.PEs) - 1)
+		q := pe.AllocQueue("q", 4)
+		q.Enq(queue.Data(1))
+		pe.AddStage(&stage.Stage{
+			Kernel: stage.KernelFunc{KernelName: "corrupt", Fn: func(c *stage.Ctx) stage.Status {
+				panic(&queue.Corruption{Component: "corrupt", Detail: "synthetic"})
+			}},
+			Mapping: passDFG("corrupt"),
+			In:      []stage.InPort{stage.LocalPort{Q: q}},
+		})
+		_, err := sys.Run(ProgramFunc(func(*System) bool { return false }))
+		return err
+	}
+	seqErr, shErr := run(1), run(4)
+	if !errors.Is(seqErr, ErrInvariant) || !errors.Is(shErr, ErrInvariant) {
+		t.Fatalf("expected ErrInvariant, got sequential=%v sharded=%v", seqErr, shErr)
+	}
+	if seqErr.Error() != shErr.Error() {
+		t.Errorf("error text differs\nsharded:    %v\nsequential: %v", shErr, seqErr)
+	}
+}
+
+// TestShardsValidation pins the named rejection of unusable shard counts:
+// negative values and counts above the PE count must fail construction with
+// ErrBadShards (no panic), while every in-range count builds.
+func TestShardsValidation(t *testing.T) {
+	for _, tc := range []struct {
+		shards int
+		ok     bool
+	}{{-1, false}, {0, true}, {1, true}, {4, true}, {8, true}, {9, false}} {
+		cfg := testConfig(8)
+		cfg.Shards = tc.shards
+		_, err := NewSystemChecked(cfg)
+		if tc.ok && err != nil {
+			t.Errorf("Shards=%d: unexpected error %v", tc.shards, err)
+		}
+		if !tc.ok {
+			if !errors.Is(err, ErrBadShards) {
+				t.Errorf("Shards=%d: error %v, want ErrBadShards", tc.shards, err)
+			}
+		}
+	}
+}

@@ -39,6 +39,25 @@ type System struct {
 	Cycle   uint64
 
 	arbiters []*queue.Arbiter
+	// arbConsumers records, parallel to arbiters, the consumer PE of each
+	// inter-PE queue; the sharded kernel maps it to the consumer's shard when
+	// installing its exchange hooks (shard.go).
+	arbConsumers []int
+
+	// Sharded-kernel state (shard.go); nil/zero for the sequential kernel.
+	shards   []*shard
+	peShard  []int // PE id -> shard index
+	curShard int   // shard currently ticking, -1 between engagements
+	curPE    int   // PE currently ticking inside an engagement, -1 otherwise
+	// crossTouch is set by the exchange hooks whenever they mark a shard
+	// other than the one currently ticking; a batched engagement (shard.go)
+	// must end its autonomous run at the cycle that touched another shard.
+	crossTouch bool
+	// sweepFired: some stage fired during the current sweep cycle; every
+	// poll PE (exotic ports, see PE.poll) must then tick no later than the
+	// next cycle. hasPoll caches whether any poll PE exists.
+	sweepFired bool
+	hasPoll    bool
 
 	// hooks run at the top of every cycle, before the PEs tick. They exist
 	// for observers and fault injectors (internal/faults); Run never skips
@@ -85,8 +104,15 @@ func NewSystemChecked(cfg Config) (*System, error) {
 		Hier:    mem.NewHierarchy(cfg.Hier),
 		tracer:  cfg.Tracer,
 	}
-	for i := 0; i < cfg.PEs; i++ {
-		s.PEs = append(s.PEs, newPE(i, s))
+	// PEs live in one contiguous backing array so the run loop's per-cycle
+	// sweep walks sequential memory instead of pointer-chasing individually
+	// boxed PEs; s.PEs keeps the pointer-slice shape the rest of the code
+	// (and the shard partitioning) works in.
+	pes := make([]PE, cfg.PEs)
+	s.PEs = make([]*PE, cfg.PEs)
+	for i := range pes {
+		pes[i].init(i, s)
+		s.PEs[i] = &pes[i]
 	}
 	return s, nil
 }
@@ -105,17 +131,30 @@ func (s *System) PE(i int) *PE { return s.PEs[i] }
 func (s *System) InterPEQueue(consumer int, name string, capTokens, producers int) *queue.Arbiter {
 	q := s.PEs[consumer].AllocQueue(name, capTokens)
 	a := queue.NewArbiter(q, producers)
-	if t := s.tracer; t != nil {
-		a.SetCreditHook(func(port int, granted bool) {
-			k := trace.KindCreditReturn
-			if granted {
-				k = trace.KindCreditGrant
-			}
-			t.Emit(trace.Event{Cycle: s.Cycle, PE: consumer, Kind: k, Name: q.Name(), Arg: uint64(port)})
-		})
+	if h := s.creditTracer(consumer, q); h != nil {
+		a.SetCreditHook(h)
 	}
 	s.arbiters = append(s.arbiters, a)
+	s.arbConsumers = append(s.arbConsumers, consumer)
 	return a
+}
+
+// creditTracer builds the credit-movement trace hook for an inter-PE queue,
+// or nil when tracing is off. The sequential kernel installs it directly;
+// the sharded kernel chains it behind its own exchange bookkeeping so traced
+// runs emit the identical event stream (shard.go).
+func (s *System) creditTracer(consumer int, q *queue.Queue) func(port int, granted bool) {
+	t := s.tracer
+	if t == nil {
+		return nil
+	}
+	return func(port int, granted bool) {
+		k := trace.KindCreditReturn
+		if granted {
+			k = trace.KindCreditGrant
+		}
+		t.Emit(trace.Event{Cycle: s.Cycle, PE: consumer, Kind: k, Name: q.Name(), Arg: uint64(port)})
+	}
 }
 
 // Arbiters returns all inter-PE queue arbiters (for invariant checks).
@@ -161,6 +200,10 @@ type Result struct {
 // simulation fails as one job instead of crashing the process), and with
 // ErrCanceled when Cfg.Done is closed (checked before the first cycle and
 // at watchdog-checkpoint granularity thereafter).
+//
+// Cfg.Shards > 1 selects the sharded kernel (shard.go), whose results are
+// bit-identical to the sequential kernel's for every surface; 0 or 1 runs
+// the sequential loop below.
 func (s *System) Run(prog Program) (res Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -172,6 +215,16 @@ func (s *System) Run(prog Program) (res Result, err error) {
 				ErrInvariant, c.Component, c.Detail, s.BlockedSummary(dumpExcerptLines))
 		}
 	}()
+	if s.Cfg.Shards > 1 {
+		return s.runSharded(prog)
+	}
+	return s.runSeq(prog)
+}
+
+// runSeq is the sequential kernel: one goroutine ticks every PE in
+// ascending id order each cycle, with the event-horizon fast-forward of
+// horizon.go batching provably inert windows.
+func (s *System) runSeq(prog Program) (res Result, err error) {
 	// The watchdog compares monotonic progress counters at checkpoints half
 	// a window apart: two equal consecutive snapshots prove zero progress
 	// over at least half a window, and the deadlock is reported within one
@@ -312,6 +365,14 @@ func (s *System) Run(prog Program) (res Result, err error) {
 			}
 		}
 	}
+	s.finishRun(&res)
+	return res, nil
+}
+
+// finishRun flushes the final partial metrics window and aggregates per-PE
+// statistics into res. Both kernels end a successful run here, against
+// identical machine state.
+func (s *System) finishRun(res *Result) {
 	res.Cycles = s.Cycle
 	// Flush the final partial metrics window so per-PE deltas sum to the
 	// run's cycle count exactly (skipped when the last period landed on the
@@ -341,7 +402,6 @@ func (s *System) Run(prog Program) (res Result, err error) {
 		res.MeanReconfig = float64(sumRec) / float64(nRec)
 	}
 	res.Reconfigs = nRec
-	return res, nil
 }
 
 // MeanQueueOccupancy returns the average sampled occupancy (tokens) across

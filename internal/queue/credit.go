@@ -39,6 +39,9 @@ func (p *CreditPort) Send(t Token) bool {
 		p.Stalls++
 		return false
 	}
+	if p.arb.send != nil {
+		p.arb.send(p.index)
+	}
 	if !p.arb.dst.Enq(t) {
 		// Credits are supposed to make this impossible; a failure here means
 		// credit accounting is broken. Raised as a typed Corruption so the
@@ -67,12 +70,23 @@ type Arbiter struct {
 	// dequeue returns one. Nil costs one branch per send and per credited
 	// dequeue.
 	credit func(port int, granted bool)
+
+	// send, when non-nil, runs at the top of every successful Send, BEFORE
+	// the token lands in the destination queue. The sharded simulation kernel
+	// uses it to settle the consumer's deferred per-cycle accounting while the
+	// destination queue's occupancy is still the pre-send value; rejected
+	// sends (no credits) never invoke it. Nil costs one branch per send.
+	send func(port int)
 }
 
 // SetCreditHook registers f to observe credit grants (sends) and returns
 // (consumer dequeues) on this arbiter; see the credit field for the
 // callback contract.
 func (a *Arbiter) SetCreditHook(f func(port int, granted bool)) { a.credit = f }
+
+// SetSendHook registers f to run before each successful send's enqueue; see
+// the send field for the callback contract.
+func (a *Arbiter) SetSendHook(f func(port int)) { a.send = f }
 
 // NewArbiter wraps dst with credit flow control for nproducers producers.
 // Credits are divided evenly; remainders go to the lowest-numbered ports,

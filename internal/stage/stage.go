@@ -180,10 +180,69 @@ type Stage struct {
 
 	// Firings counts successful firings (for utilization stats).
 	Firings uint64
+
+	// Devirtualized port caches, bound lazily on the first scheduler scan
+	// (ports are wired by struct literal and never reassigned afterwards).
+	// The per-cycle hot paths — InputWork and OutputsBlocked run for every
+	// resident stage on every blocked cycle — read occupancy through these
+	// concrete pointers instead of interface dispatch; a nil entry falls back
+	// to the interface for exotic (test-only, wrapper) port types.
+	bound   bool
+	inQs    []*queue.Queue      // LocalPort / ArbiterPort input backing queues
+	outQs   []*queue.Queue      // LocalPort output backing queues
+	outCred []*queue.CreditPort // CreditOut output ports
+}
+
+// bind resolves the In/Out interface slices to their concrete backing
+// queues and credit ports once, keeping the slow interface path only for
+// port types this package does not know about.
+func (s *Stage) bind() {
+	s.bound = true
+	s.inQs = make([]*queue.Queue, len(s.In))
+	for i, in := range s.In {
+		switch p := in.(type) {
+		case LocalPort:
+			s.inQs[i] = p.Q
+		case ArbiterPort:
+			s.inQs[i] = p.A.Queue()
+		}
+	}
+	s.outQs = make([]*queue.Queue, len(s.Out))
+	s.outCred = make([]*queue.CreditPort, len(s.Out))
+	for i, out := range s.Out {
+		switch p := out.(type) {
+		case LocalPort:
+			s.outQs[i] = p.Q
+		case CreditOut:
+			s.outCred[i] = p.P
+		}
+	}
 }
 
 // Name returns the kernel name.
 func (s *Stage) Name() string { return s.Kernel.Name() }
+
+// Exotic reports whether any port is of a type this package cannot see
+// through (a test double, or an application wrapper like a throttling
+// in-port). An exotic port's readiness may depend on state outside the
+// queue/credit fabric, so execution kernels that skip provably-idle PEs
+// must instead poll a stage with one (see core's sharded kernel).
+func (s *Stage) Exotic() bool {
+	if !s.bound {
+		s.bind()
+	}
+	for i := range s.In {
+		if s.inQs[i] == nil {
+			return true
+		}
+	}
+	for i := range s.Out {
+		if s.outQs[i] == nil && s.outCred[i] == nil {
+			return true
+		}
+	}
+	return false
+}
 
 // Width returns the SIMD firing width (replicated datapaths).
 func (s *Stage) Width() int {
@@ -205,9 +264,16 @@ func (s *Stage) Depth() int {
 // register-held work — the scheduler's "amount of work available" metric
 // (Sec. 5.2).
 func (s *Stage) InputWork() int {
+	if !s.bound {
+		s.bind()
+	}
 	n := 0
-	for _, in := range s.In {
-		n += in.Len()
+	for i, q := range s.inQs {
+		if q != nil {
+			n += q.Len()
+		} else {
+			n += s.In[i].Len()
+		}
 	}
 	if s.StateWork != nil {
 		n += s.StateWork()
@@ -217,8 +283,19 @@ func (s *Stage) InputWork() int {
 
 // OutputsBlocked reports whether any output port currently has no space.
 func (s *Stage) OutputsBlocked() bool {
-	for _, out := range s.Out {
-		if out.Space() == 0 {
+	if !s.bound {
+		s.bind()
+	}
+	for i := range s.Out {
+		if q := s.outQs[i]; q != nil {
+			if q.Space() == 0 {
+				return true
+			}
+		} else if c := s.outCred[i]; c != nil {
+			if c.Credits() == 0 {
+				return true
+			}
+		} else if s.Out[i].Space() == 0 {
 			return true
 		}
 	}
