@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// Temporary review probe: widen the random-pipeline differential to many
+// seeds, focusing on occupancy samples and metrics rows.
+func TestProbeShardInvarianceManySeeds(t *testing.T) {
+	for seed := int64(1); seed <= 150; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			wantRes, wantErr, wantSys, wantCol, wantSunk := runShardPipeline(t, seed, 1, false)
+			if wantErr != nil {
+				t.Fatalf("sequential kernel failed: %v", wantErr)
+			}
+			_ = wantSunk
+			for _, shards := range []int{2, 3, 4} {
+				res, err, sys, col, _ := runShardPipeline(t, seed, shards, false)
+				if err != nil {
+					t.Fatalf("shards%d: %v", shards, err)
+				}
+				if got, want := sys.MeanQueueOccupancy(), wantSys.MeanQueueOccupancy(); got != want {
+					t.Errorf("shards%d: mean queue occupancy %v, sequential %v", shards, got, want)
+				}
+				if !reflect.DeepEqual(res, wantRes) {
+					t.Errorf("shards%d: Result differs\nsharded:    %+v\nsequential: %+v", shards, res, wantRes)
+				}
+				if !reflect.DeepEqual(col.Rows(), wantCol.Rows()) {
+					t.Errorf("shards%d: metrics rows differ", shards)
+				}
+				if !reflect.DeepEqual(col.Events(), wantCol.Events()) {
+					t.Errorf("shards%d: events differ", shards)
+				}
+			}
+		})
+	}
+}
